@@ -1,0 +1,28 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Benchmarks run the same harness as ``python -m repro.eval.figures`` at a
+reduced workload scale so the whole suite finishes in minutes.  Every
+benchmark also *asserts the paper's qualitative shape* (who wins, which
+direction the trend goes), so a regression in the reproduction fails the
+bench run rather than silently producing different tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.params import SimParams
+from repro.eval.harness import EvalHarness
+
+#: Workload scale for benchmark runs (full tables use 1.0 via the CLI).
+BENCH_SCALE = 0.4
+
+#: One representative per suite keeps per-figure benches fast while still
+#: spanning single-threaded, sequential-STAMP and multi-threaded shapes.
+REPRESENTATIVES = ["508.namd_r", "ssca2", "volrend"]
+
+
+@pytest.fixture(scope="session")
+def harness() -> EvalHarness:
+    """Session-wide harness: volatile baselines are computed once."""
+    return EvalHarness(params=SimParams.scaled(), scale=BENCH_SCALE)

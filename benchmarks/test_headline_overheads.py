@@ -1,0 +1,44 @@
+"""The headline result — per-suite overheads at the default threshold.
+
+Paper (abstract / Section 1.4): Capri achieves whole-system persistence
+at 0% (SPEC CPU2017), 12.4% (STAMP) and 9.1% (Splash-3) overhead in
+geometric mean, 5.1% overall, at the default threshold of 256.
+
+Our substrate is a cost-model simulator over synthetic stand-ins (declared
+band repro=3), so we assert the *band*: every suite lands in low single
+digits to low teens, and the overall gmean is single-digit — same story,
+not the same decimals.  EXPERIMENTS.md records paper-vs-measured values.
+"""
+
+import pytest
+
+from repro.compiler import OptConfig
+from repro.eval.report import geomean
+from repro.workloads import SUITES
+
+PAPER = {"cpu2017": 0.0, "stamp": 12.4, "splash3": 9.1, "overall": 5.1}
+
+
+def test_headline_suite_overheads(benchmark, harness):
+    def run_all():
+        out = {}
+        all_norms = []
+        for suite in ["cpu2017", "stamp", "splash3"]:
+            norms = [
+                harness.run(name, OptConfig.licm(256), "capri").normalized_cycles
+                for name in SUITES[suite]
+            ]
+            out[suite] = (geomean(norms) - 1.0) * 100.0
+            all_norms.extend(norms)
+        out["overall"] = (geomean(all_norms) - 1.0) * 100.0
+        return out
+
+    overheads = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    # Headline band: lightweight WSP — single digits overall.
+    assert 0.0 <= overheads["overall"] < 10.0, overheads
+    # Every suite is within [0%, 20%): "failure atomicity on the cheap".
+    for suite, pct in overheads.items():
+        assert 0.0 <= pct < 20.0, (suite, overheads)
+    # SPEC CPU2017 is the cheapest or near-cheapest suite in the paper
+    # (0%); allow a small margin over the others.
+    assert overheads["cpu2017"] < max(overheads["stamp"], overheads["splash3"]) + 5.0

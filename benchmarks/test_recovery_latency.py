@@ -1,0 +1,38 @@
+"""Recovery-latency benchmark (extension over the paper's Section 5.4).
+
+Asserts the design's key recovery property: the work a recovery performs
+is bounded by the proxy-buffer capacity (threshold + front-end entries),
+*independent of how long the program ran* — microsecond-scale restart
+under Table 1 latencies.
+"""
+
+import pytest
+
+from repro.eval.recovery_analysis import analyze_recovery
+
+
+@pytest.mark.parametrize("threshold", [32, 256])
+def test_recovery_work_bounded_by_buffer_capacity(benchmark, threshold):
+    sweep = benchmark.pedantic(
+        lambda: analyze_recovery(
+            "genome", threshold=threshold, scale=0.4
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert sweep.costs, "no crash points hit the run"
+    capacity = threshold + 1 + 32  # back-end (+boundary slot) + front-end
+    assert sweep.max_entries <= capacity
+    # Microsecond-scale recovery under Table 1 device latencies.
+    assert sweep.max_ns < 1_000_000
+
+
+def test_recovery_cost_independent_of_run_length():
+    """Same threshold, 4x the work: recovery cost bound doesn't grow."""
+    short = analyze_recovery("genome", threshold=64, scale=0.25)
+    long_ = analyze_recovery("genome", threshold=64, scale=1.0)
+    assert short.costs and long_.costs
+    capacity = 64 + 1 + 32
+    assert long_.max_entries <= capacity
+    # The long run's max recovery cost is the same order as the short's.
+    assert long_.max_ns < short.max_ns * 10 + 1000

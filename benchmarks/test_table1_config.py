@@ -1,0 +1,31 @@
+"""Table 1 — simulator configuration.
+
+Benchmarks full-system construction under the Table 1 parameters and
+asserts the configuration matches the paper's rows (the table itself is
+asserted in detail by tests/arch/test_params.py).
+"""
+
+from repro.arch.params import SimParams
+from repro.arch.system import CapriSystem
+
+
+def build_system() -> CapriSystem:
+    return CapriSystem(SimParams.paper(), num_cores=8, threshold=256)
+
+
+def test_table1_system_construction(benchmark):
+    system = benchmark(build_system)
+    p = system.params
+    # Table 1 rows.
+    assert p.clock_ghz == 2.0
+    assert p.l1_size_bytes == 32 * 1024 and p.l1_assoc == 8
+    assert p.l2_size_bytes == 16 * 1024**2 and p.l2_assoc == 16
+    assert p.dram_cache_size_bytes == 8 * 1024**3
+    assert p.nvm_read_ns == 150.0 and p.nvm_write_ns == 300.0
+    assert p.proxy_path_ns == 20.0
+    assert p.wpq_entries == 16
+    assert p.frontend_entries == 32
+    # Co-design contract: back-end proxy sized by the compiler threshold.
+    assert system.persist is not None
+    assert system.persist.pipelines[0].be_cap == p.backend_capacity(256)
+    assert len(system.persist.pipelines) == 8

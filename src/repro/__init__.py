@@ -1,0 +1,24 @@
+"""Capri: compiler and architecture support for whole-system persistence.
+
+A complete Python reproduction of Jeong, Zeng & Jung, HPDC 2022
+(doi:10.1145/3502181.3531474).  Subpackages:
+
+* :mod:`repro.ir` — the compiler IR substrate (CFG, dataflow, builder,
+  parser/printer) standing in for LLVM,
+* :mod:`repro.compiler` — the Capri passes: region formation under a
+  store threshold, register-checkpoint insertion, speculative loop
+  unrolling, optimal checkpoint pruning, checkpoint LICM, plus the
+  static whole-system-persistence verifier and an inlining extension,
+* :mod:`repro.isa` — the functional machine producing the event stream,
+* :mod:`repro.arch` — the Capri architecture: caches, NVM, front/back-end
+  proxy buffers, two-phase atomic stores with undo+redo logging,
+  crash injection and the recovery protocol,
+* :mod:`repro.workloads` — shape-matched stand-ins for SPEC CPU2017,
+  STAMP and Splash-3,
+* :mod:`repro.eval` — the evaluation harness regenerating every figure
+  of the paper plus the extension analyses.
+
+Start with README.md's sixty-second tour or ``examples/quickstart.py``.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,166 @@
+"""Power-failure injection and non-volatile state capture.
+
+A crash is injected at a chosen event index: the :class:`CrashInjector`
+wraps the :class:`~repro.arch.system.CapriSystem` observer, delegates
+events, and raises :class:`PowerFailure` when the target event is reached
+— *before* the persistence engine processes it, modelling power dying
+mid-operation.
+
+What survives the failure (the persistent domain of Sections 5.2/6.1):
+
+* the NVM durable image (including everything in the WPQ),
+* both proxy buffers' contents — front-end, in-flight, and back-end
+  entries, with their undo/redo data and valid bits,
+* the staged register-checkpoint values attached to boundary entries.
+
+Volatile state — register files, L1/L2, the DRAM cache, and the
+*unattached* current-region checkpoint staging — is discarded.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.proxy import ProxyEntry
+from repro.arch.system import CapriSystem
+from repro.ir.module import Module
+from repro.isa.machine import Machine
+from repro.isa.trace import Observer
+
+
+class PowerFailure(Exception):
+    """Raised by the injector at the planned crash point."""
+
+    def __init__(self, state: "CrashState") -> None:
+        super().__init__("injected power failure")
+        self.state = state
+
+
+@dataclass
+class CrashPlan:
+    """When to crash: after ``at_event`` observer events have completed."""
+
+    at_event: int
+
+    def __post_init__(self) -> None:
+        if self.at_event < 0:
+            raise ValueError("at_event must be >= 0")
+
+
+@dataclass
+class CrashState:
+    """Snapshot of the persistent domain at the moment of power failure."""
+
+    nvm_image: Dict[int, int]
+    #: per-core surviving proxy entries, oldest first (back-end + front-end).
+    core_entries: List[List[ProxyEntry]]
+    num_cores: int
+    #: durable per-core PC checkpoints: core -> (continuation, region_id).
+    pc_checkpoints: Dict[int, tuple] = field(default_factory=dict)
+
+
+def capture_crash_state(system: CapriSystem) -> CrashState:
+    """Snapshot the persistent domain of a (possibly mid-run) system."""
+    if system.persist is None:
+        raise ValueError("cannot capture crash state of a volatile system")
+    core_entries: List[List[ProxyEntry]] = []
+    for pipe in system.persist.pipelines:
+        entries = [copy.copy(e) for e in pipe.entries_in_order()]
+        for e in entries:
+            e.ckpts = dict(e.ckpts)
+        core_entries.append(entries)
+    return CrashState(
+        nvm_image=dict(system.nvm.image),
+        core_entries=core_entries,
+        num_cores=len(system.persist.pipelines),
+        pc_checkpoints=dict(system.nvm.pc_checkpoints),
+    )
+
+
+class CrashInjector(Observer):
+    """Observer wrapper that fails power after N delegated events."""
+
+    def __init__(self, system: CapriSystem, plan: CrashPlan) -> None:
+        self.system = system
+        self.plan = plan
+        self.events_seen = 0
+        self.fired = False
+
+    def _tick(self) -> None:
+        if not self.fired and self.events_seen >= self.plan.at_event:
+            self.fired = True
+            raise PowerFailure(capture_crash_state(self.system))
+        self.events_seen += 1
+
+    # Delegation: the crash check runs before the system sees the event.
+
+    def on_retire(self, core, kind):
+        self._tick()
+        self.system.on_retire(core, kind)
+
+    def on_load(self, core, addr):
+        self._tick()
+        self.system.on_load(core, addr)
+
+    def on_store(self, core, addr, value, old):
+        self._tick()
+        self.system.on_store(core, addr, value, old)
+
+    def on_ckpt(self, core, reg, value, addr):
+        self._tick()
+        self.system.on_ckpt(core, reg, value, addr)
+
+    def on_boundary(self, core, region_id, continuation):
+        self._tick()
+        self.system.on_boundary(core, region_id, continuation)
+
+    def on_fence(self, core):
+        self._tick()
+        self.system.on_fence(core)
+
+    def on_atomic(self, core, addr, value, old):
+        self._tick()
+        self.system.on_atomic(core, addr, value, old)
+
+    def on_io(self, core, port, value):
+        self._tick()
+        self.system.on_io(core, port, value)
+
+    def on_halt(self, core):
+        self._tick()
+        self.system.on_halt(core)
+
+
+def run_until_crash(
+    module: Module,
+    spawns: Sequence[Tuple[str, Sequence[int]]],
+    plan: CrashPlan,
+    params=None,
+    threshold: int = 256,
+    quantum: int = 32,
+    max_steps: int = 50_000_000,
+) -> Optional[CrashState]:
+    """Run a workload with a crash plan.
+
+    Returns the captured :class:`CrashState`, or ``None`` if the program
+    finished before the crash point (the plan's event index was past the
+    end of execution).
+    """
+    from repro.arch.params import SimParams
+
+    params = params or SimParams.scaled()
+    machine = Machine(module, quantum=quantum)
+    for func_name, args in spawns:
+        machine.spawn(func_name, args)
+    system = CapriSystem(
+        params, num_cores=max(1, len(spawns)), threshold=threshold
+    )
+    system.attach(machine)
+    injector = CrashInjector(system, plan)
+    try:
+        machine.run(injector, max_steps=max_steps)
+    except PowerFailure as pf:
+        return pf.state
+    return None

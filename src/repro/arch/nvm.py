@@ -1,0 +1,87 @@
+"""The NVM main memory: durable word image plus a bandwidth-limited write port.
+
+The *image* is the authoritative durable state: what survives a power
+failure.  Three producers write it:
+
+* regular-path writebacks (DRAM-cache evictions),
+* phase-2 proxy drains (redo data),
+* staged register-checkpoint flushes at region commit.
+
+Writes pass through the write-pending queue, which Table 1 places inside
+the persistent domain — so a write is durable the moment it is issued,
+while the port timestamp models sustained throughput (WPQ + bank-level
+parallelism pipeline the 300 ns write latency).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.arch.params import SimParams
+
+
+class NVMain:
+    """Durable word-granular memory image with a shared write port."""
+
+    def __init__(self, params: SimParams, initial: Dict[int, int] | None = None) -> None:
+        self.params = params
+        self.image: Dict[int, int] = dict(initial or {})
+        #: Durable per-core PC checkpoint (Section 3.1: boundary checkpoints
+        #: contain "the current PC offset"): core -> (continuation,
+        #: region_id), written when a region's boundary entry completes its
+        #: second phase.  Until then the boundary entry itself (in the
+        #: non-volatile proxy buffers) carries the continuation.
+        self.pc_checkpoints: Dict[int, tuple] = {}
+        #: Next cycle at which the write port can issue.
+        self.write_free_at = 0.0
+        # -- counters -----------------------------------------------------
+        self.writes_writeback = 0  # regular-path words written
+        self.writes_redo = 0  # phase-2 redo words written
+        self.writes_ckpt = 0  # checkpoint-array words written
+        self.writes_skipped = 0  # redo entries skipped (valid bit unset)
+        self.reads = 0
+
+    # -- durable state ------------------------------------------------------
+
+    def read_word(self, addr: int) -> int:
+        self.reads += 1
+        return self.image.get(addr, 0)
+
+    def peek(self, addr: int) -> int:
+        """Read without counting (for invariant checks)."""
+        return self.image.get(addr, 0)
+
+    # -- write port timing ------------------------------------------------------
+
+    def issue_write(self, now: float) -> float:
+        """Occupy one write-port slot at/after ``now``; return issue time."""
+        t = max(now, self.write_free_at)
+        self.write_free_at = t + self.params.nvm_write_interval_cycles
+        return t
+
+    # -- producers ----------------------------------------------------------------
+
+    def writeback_words(self, now: float, words: Dict[int, int]) -> float:
+        """Apply a regular-path writeback; returns last issue time."""
+        t = now
+        for addr, value in words.items():
+            t = self.issue_write(now)
+            self.image[addr] = value
+            self.writes_writeback += 1
+        return t
+
+    def redo_write(self, now: float, addr: int, value: int) -> float:
+        t = self.issue_write(now)
+        self.image[addr] = value
+        self.writes_redo += 1
+        return t
+
+    def ckpt_write(self, now: float, addr: int, value: int) -> float:
+        t = self.issue_write(now)
+        self.image[addr] = value
+        self.writes_ckpt += 1
+        return t
+
+    @property
+    def total_writes(self) -> int:
+        return self.writes_writeback + self.writes_redo + self.writes_ckpt

@@ -1,0 +1,130 @@
+"""The multi-core persistence engine (Sections 5.1–5.3).
+
+Owns one :class:`~repro.arch.proxy.CoreProxyPipeline` per core plus the
+shared NVM, and implements the cross-core interactions:
+
+* **regular-path writebacks** — when a dirty line is evicted from the
+  DRAM cache into NVM, the engine applies the words to the durable image
+  and (with stale-read prevention enabled) scans *every* core's proxy
+  buffers, unsetting the redo valid-bit of matching entries so a delayed
+  phase-2 drain can never overwrite newer data (Section 5.3.2),
+* **stale-read detection** — loads that miss every cache read NVM; the
+  engine compares the durable word against the architectural value and
+  counts mismatches.  With prevention on this must be zero; with
+  prevention off the Figure 6 scenarios become observable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.arch.nvm import NVMain
+from repro.arch.params import SimParams
+from repro.arch.proxy import CoreProxyPipeline
+from repro.ir.values import WORD_BYTES
+
+
+class PersistenceEngine:
+    """Two-phase atomic stores with undo+redo logging across all cores."""
+
+    def __init__(
+        self,
+        params: SimParams,
+        nvm: NVMain,
+        num_cores: int,
+        threshold: int,
+    ) -> None:
+        self.params = params
+        self.nvm = nvm
+        self.threshold = threshold
+        self.pipelines: List[CoreProxyPipeline] = [
+            CoreProxyPipeline(core, params, nvm, threshold)
+            for core in range(num_cores)
+        ]
+        # -- statistics --------------------------------------------------
+        self.invalidations = 0
+        self.stale_reads = 0
+        self.stale_reads_prevented = 0
+
+    def pipeline(self, core: int) -> CoreProxyPipeline:
+        while core >= len(self.pipelines):
+            self.pipelines.append(
+                CoreProxyPipeline(len(self.pipelines), self.params, self.nvm, self.threshold)
+            )
+        return self.pipelines[core]
+
+    # -- store/checkpoint/boundary pass-throughs ----------------------------
+
+    def on_store(self, core: int, now: float, addr: int, value: int, old: int) -> float:
+        return self.pipeline(core).record_store(now, addr, value, old)
+
+    def on_ckpt(self, core: int, now: float, slot_addr: int, value: int) -> float:
+        return self.pipeline(core).record_ckpt(now, slot_addr, value)
+
+    def on_boundary(self, core: int, now: float, region_id: int, continuation) -> float:
+        return self.pipeline(core).record_boundary(now, region_id, continuation)
+
+    # -- regular-path writeback (Section 5.3) ---------------------------------
+
+    def on_nvm_writeback(self, now: float, line_addr: int, words: Dict[int, int]) -> None:
+        """A dirty line reached NVM through the cache hierarchy."""
+        for pipe in self.pipelines:
+            pipe.advance(now)
+        self.nvm.writeback_words(now, words)
+        if self.params.stale_read_prevention:
+            for addr in words:
+                for pipe in self.pipelines:
+                    n = pipe.invalidate_matching(addr)
+                    self.invalidations += n
+                    self.stale_reads_prevented += n
+
+    # -- stale read detection ----------------------------------------------------
+
+    def check_nvm_read(self, now: float, addr: int, architectural: int) -> int:
+        """A load missed every cache and reads NVM; returns the durable word
+        and counts a stale read if it mismatches the architectural value."""
+        for pipe in self.pipelines:
+            pipe.advance(now)
+        value = self.nvm.read_word(addr)
+        if value != architectural:
+            self.stale_reads += 1
+        return value
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def advance_all(self, now: float) -> None:
+        for pipe in self.pipelines:
+            pipe.advance(now)
+
+    def drain_all(self) -> float:
+        """Finish all pending persistence work; returns the last event time."""
+        t = 0.0
+        for pipe in self.pipelines:
+            t = max(t, pipe.drain_everything())
+        return t
+
+    # -- aggregate statistics ----------------------------------------------------
+
+    @property
+    def fe_stall_cycles(self) -> float:
+        return sum(p.fe_stall_cycles for p in self.pipelines)
+
+    @property
+    def sync_stall_cycles(self) -> float:
+        return sum(p.sync_stall_cycles for p in self.pipelines)
+
+    @property
+    def entries_created(self) -> int:
+        return sum(p.entries_created for p in self.pipelines)
+
+    @property
+    def entries_merged(self) -> int:
+        return sum(p.entries_merged for p in self.pipelines)
+
+    @property
+    def boundary_entries(self) -> int:
+        return sum(p.boundary_entries for p in self.pipelines)
+
+    @property
+    def boundaries_skipped(self) -> int:
+        return sum(p.boundaries_skipped for p in self.pipelines)

@@ -1,0 +1,381 @@
+"""Proxy buffers and the per-core two-phase store pipeline (Section 5.2).
+
+Entry layout follows Figure 5, at word rather than cache-line granularity
+(our stores are word-sized; see DESIGN.md):
+
+* data entry — address, undo word (before), redo word (after), and the
+  back-end's redo valid-bit,
+* boundary entry — the region delimiter.  Besides the paper's type bit it
+  carries our recovery continuation and the staged register-checkpoint
+  values of the region it commits (the front-end's "dedicated register
+  file storage" of Section 5.2.1 is non-volatile, so attaching its
+  snapshot to the boundary entry models exactly what recovery may use).
+
+Pipeline stages per core:
+
+1. **Phase 1** — a store allocates a front-end entry (merging with an
+   existing same-address entry of the same region); the core stalls only
+   when the front-end is full (Section 5.2.1).
+2. **Proxy path** — entries stream to the back-end over a dedicated link
+   (bandwidth + latency), blocked when the back-end is full.
+3. **Phase 2** — once a region's boundary entry reaches the back-end, the
+   region's redo data drains to NVM through the shared write port, in
+   region order (Section 5.2.2); entries with an unset redo valid-bit are
+   skipped (Section 5.3.2).
+
+Everything is timestamp-driven and advanced lazily: ``advance(now)``
+performs all pipeline events due by ``now`` in chronological order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.arch.nvm import NVMain
+from repro.arch.params import SimParams
+
+KIND_DATA = 0
+KIND_BOUNDARY = 1
+
+
+class ProxyEntry:
+    """One front-/back-end proxy buffer entry (Figure 5)."""
+
+    __slots__ = (
+        "kind",
+        "addr",
+        "undo",
+        "redo",
+        "redo_valid",
+        "region_seq",
+        "create_time",
+        "arrive_time",
+        "region_id",
+        "continuation",
+        "ckpts",
+    )
+
+    def __init__(
+        self,
+        kind: int,
+        region_seq: int,
+        create_time: float,
+        addr: int = 0,
+        undo: int = 0,
+        redo: int = 0,
+        region_id: int = 0,
+        continuation: Any = None,
+        ckpts: Optional[Dict[int, int]] = None,
+    ) -> None:
+        self.kind = kind
+        self.addr = addr
+        self.undo = undo
+        self.redo = redo
+        self.redo_valid = True
+        self.region_seq = region_seq
+        self.create_time = create_time
+        self.arrive_time = create_time  # set on back-end arrival
+        self.region_id = region_id
+        self.continuation = continuation
+        self.ckpts = ckpts or {}
+
+    @property
+    def is_boundary(self) -> bool:
+        return self.kind == KIND_BOUNDARY
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self.is_boundary:
+            return f"<boundary seq={self.region_seq} region={self.region_id}>"
+        return (
+            f"<data seq={self.region_seq} addr={self.addr:#x} "
+            f"undo={self.undo} redo={self.redo} valid={self.redo_valid}>"
+        )
+
+
+class ProxyOverflowError(Exception):
+    """A region produced more proxy entries than the back-end can hold —
+    the compiler/architecture threshold contract was violated."""
+
+
+class CoreProxyPipeline:
+    """One core's front-end buffer, proxy path, and back-end buffer."""
+
+    def __init__(self, core_id: int, params: SimParams, nvm: NVMain, threshold: int) -> None:
+        self.core_id = core_id
+        self.params = params
+        self.nvm = nvm
+        self.fe_cap = params.frontend_entries
+        self.be_cap = params.backend_capacity(threshold)
+
+        self.fe: Deque[ProxyEntry] = deque()
+        #: current-region front-end entries by address (for merging).
+        self._fe_merge: Dict[int, ProxyEntry] = {}
+        self.be: Deque[ProxyEntry] = deque()
+        self._boundaries_in_be = 0
+
+        #: dedicated non-volatile register-file storage (Section 5.2.1):
+        #: checkpoint slot address -> value, accumulated since the last
+        #: *emitted* boundary entry.
+        self.staging: Dict[int, int] = {}
+
+        self.region_seq = 0
+        self._entries_since_boundary = 0
+        self.xfer_free = 0.0
+        #: Monotonic pipeline event clock: an event blocked behind another
+        #: (a transfer waiting for a drain to free a back-end slot) cannot
+        #: be timestamped before it.
+        self._event_clock = 0.0
+
+        # -- statistics ------------------------------------------------------
+        self.entries_created = 0
+        self.entries_merged = 0
+        self.boundary_entries = 0
+        self.boundaries_skipped = 0
+        self.fe_stall_cycles = 0.0
+        self.sync_stall_cycles = 0.0
+        #: durable time of the most recently drained boundary.
+        self.last_region_durable = 0.0
+
+    # ------------------------------------------------------------------ events
+
+    def _next_event(self) -> Optional[Tuple[float, str]]:
+        """Earliest pending pipeline event: ('drain'|'xfer', time).
+
+        Times are floored to the monotonic event clock: an event enabled
+        by a predecessor (a transfer that needed a drain to free a slot)
+        cannot be stamped before it.
+        """
+        best: Optional[Tuple[float, str]] = None
+        if self.be and self._boundaries_in_be > 0:
+            head = self.be[0]
+            t = max(head.arrive_time, self.nvm.write_free_at)
+            best = (t, "drain")
+        if self.fe and len(self.be) < self.be_cap:
+            # An entry needs one transfer interval of front-end residency
+            # before it can start streaming out.
+            t = max(
+                self.fe[0].create_time + self.params.proxy_xfer_cycles,
+                self.xfer_free,
+            )
+            if best is None or t < best[0]:
+                best = (t, "xfer")
+        if best is None:
+            return None
+        return (max(best[0], self._event_clock), best[1])
+
+    def _do_drain(self, t: float) -> float:
+        """Retire the back-end head entry; returns completion time."""
+        self._event_clock = max(self._event_clock, t)
+        entry = self.be.popleft()
+        if entry.is_boundary:
+            self._boundaries_in_be -= 1
+            done = t
+            for slot_addr, value in entry.ckpts.items():
+                done = self.nvm.ckpt_write(done, slot_addr, value)
+            # Persist the PC checkpoint: with the boundary entry retired,
+            # the durable resume point must live in NVM (Section 3.1).
+            self.nvm.pc_checkpoints[self.core_id] = (
+                entry.continuation,
+                entry.region_id,
+            )
+            self.last_region_durable = max(done, t)
+            return done
+        if entry.redo_valid:
+            return self.nvm.redo_write(t, entry.addr, entry.redo)
+        self.nvm.writes_skipped += 1
+        return t
+
+    def _do_xfer(self, t: float) -> None:
+        self._event_clock = max(self._event_clock, t)
+        entry = self.fe.popleft()
+        entry.arrive_time = t + self.params.proxy_path_cycles
+        self.xfer_free = t + self.params.proxy_xfer_cycles
+        merged = self._fe_merge.get(entry.addr)
+        if merged is entry:
+            del self._fe_merge[entry.addr]
+        self.be.append(entry)
+        if entry.is_boundary:
+            self._boundaries_in_be += 1
+
+    def advance(self, now: float) -> None:
+        """Perform all pipeline events due by ``now``, in time order."""
+        while True:
+            ev = self._next_event()
+            if ev is None or ev[0] > now:
+                return
+            t, kind = ev
+            if kind == "drain":
+                self._do_drain(t)
+            else:
+                self._do_xfer(t)
+
+    def _advance_until(self, cond: Callable[[], bool]) -> float:
+        """Run pipeline events (any timestamp) until ``cond()``; returns the
+        time of the last event performed."""
+        t = 0.0
+        while not cond():
+            ev = self._next_event()
+            if ev is None:
+                raise ProxyOverflowError(
+                    f"core {self.core_id}: proxy pipeline deadlock — a region "
+                    "overflowed the back-end proxy buffer "
+                    f"(be={len(self.be)}/{self.be_cap}, fe={len(self.fe)}/{self.fe_cap})"
+                )
+            t, kind = ev
+            if kind == "drain":
+                t = max(t, self._do_drain(t))
+            else:
+                self._do_xfer(t)
+        return t
+
+    # --------------------------------------------------------------- operations
+
+    def record_store(self, now: float, addr: int, value: int, old: int) -> float:
+        """Phase-1 entry creation for a store; returns the (possibly
+        stalled) completion time for the core."""
+        self.advance(now)
+        merged = self._fe_merge.get(addr)
+        if merged is not None and merged.region_seq == self.region_seq:
+            merged.redo = value
+            self.entries_merged += 1
+            return now
+        if len(self.fe) >= self.fe_cap:
+            t = self._advance_until(lambda: len(self.fe) < self.fe_cap)
+            if t > now:
+                self.fe_stall_cycles += t - now
+                now = t
+        entry = ProxyEntry(
+            KIND_DATA, self.region_seq, now, addr=addr, undo=old, redo=value
+        )
+        self.fe.append(entry)
+        self._fe_merge[addr] = entry
+        self._entries_since_boundary += 1
+        self.entries_created += 1
+        return now
+
+    def record_ckpt(self, now: float, slot_addr: int, value: int) -> float:
+        """A register-checkpoint store: update the dedicated NV storage."""
+        self.advance(now)
+        self.staging[slot_addr] = value
+        return now
+
+    def record_boundary(
+        self, now: float, region_id: int, continuation: Any
+    ) -> float:
+        """Region boundary: emit the delimiter entry (unless the region is
+        empty — the traffic optimisation of Section 5.2.1) and start a new
+        region.  Returns the (possibly stalled) completion time."""
+        self.advance(now)
+        emit = (
+            self._entries_since_boundary > 0
+            or bool(self.staging)
+            or region_id == -1
+        )
+        if not emit:
+            self.boundaries_skipped += 1
+            return now
+        if len(self.fe) >= self.fe_cap:
+            t = self._advance_until(lambda: len(self.fe) < self.fe_cap)
+            if t > now:
+                self.fe_stall_cycles += t - now
+                now = t
+        entry = ProxyEntry(
+            KIND_BOUNDARY,
+            self.region_seq,
+            now,
+            region_id=region_id,
+            continuation=continuation,
+            ckpts=self.staging,
+        )
+        self.fe.append(entry)
+        self.boundary_entries += 1
+        self.staging = {}
+        self.region_seq += 1
+        self._entries_since_boundary = 0
+        self._fe_merge.clear()  # never merge across regions (Section 5.2.1)
+        if self.params.persist_mode.value == "sync":
+            # Naive synchronous persistence: the core blocks until the
+            # whole region (data + boundary) has crossed the proxy path
+            # into the memory controller's persistent domain.  (Full NVM
+            # drain is not required for durability — the back-end buffer
+            # is battery backed — but the per-boundary round trip is what
+            # makes the naive design "up to 2x" slower, Section 1.4.)
+            seq = entry.region_seq
+            t = self._advance_until(
+                lambda: not any(e.region_seq <= seq for e in self.fe)
+            )
+            arrive = max(
+                (e.arrive_time for e in self.be if e.region_seq <= seq),
+                default=t,
+            )
+            t = max(t, arrive)
+            if t > now:
+                self.sync_stall_cycles += t - now
+                now = t
+        return now
+
+    def drain_committed_until(self, now: float) -> float:
+        """Make every *committed* region durable; returns completion time.
+
+        Used as the I/O persist barrier (Section 3.3): before an effect
+        leaves the persistence domain, all state it may depend on must be
+        durable — otherwise a crash could roll the system back behind an
+        output the external world already saw.  The current (uncommitted)
+        region's entries stay buffered.
+        """
+        seq = self.region_seq  # entries with region_seq < seq are committed
+
+        def committed_gone() -> bool:
+            return not any(
+                e.region_seq < seq for e in self.fe
+            ) and not any(e.region_seq < seq for e in self.be)
+
+        if committed_gone():
+            return now
+        t = self._advance_until(committed_gone)
+        return max(now, t, self.last_region_durable)
+
+    # --------------------------------------------------------------- queries
+
+    def invalidate_matching(self, addr: int) -> int:
+        """Unset the redo valid-bit of every entry for ``addr`` (both the
+        back-end scan and the in-flight monitoring of Section 5.3.2 — the
+        simulator sees all in-flight entries directly)."""
+        count = 0
+        for entry in self.be:
+            if not entry.is_boundary and entry.addr == addr and entry.redo_valid:
+                entry.redo_valid = False
+                count += 1
+        for entry in self.fe:
+            if not entry.is_boundary and entry.addr == addr and entry.redo_valid:
+                entry.redo_valid = False
+                count += 1
+        return count
+
+    def drain_everything(self) -> float:
+        """Complete all pending pipeline work (end-of-run); returns time.
+
+        A trailing uncommitted region's entries stay put (no boundary ever
+        arrives for them) — exactly the crash-time content recovery sees.
+        """
+        def settled() -> bool:
+            ev = self._next_event()
+            return ev is None
+
+        t = 0.0
+        while True:
+            ev = self._next_event()
+            if ev is None:
+                return t
+            tt, kind = ev
+            if kind == "drain":
+                t = max(t, self._do_drain(tt))
+            else:
+                self._do_xfer(tt)
+                t = max(t, tt)
+
+    def entries_in_order(self) -> List[ProxyEntry]:
+        """All surviving entries oldest-first (back-end then front-end) —
+        the order the recovery threads scan after a power failure."""
+        return list(self.be) + list(self.fe)

@@ -1,0 +1,239 @@
+"""Crash recovery with undo+redo logging (paper Section 5.4).
+
+The recovery protocol, per core, scans the surviving proxy entries oldest
+first:
+
+1. **Committed regions** — groups of data entries *followed by* a boundary
+   entry completed their first phase; their redo data is copied to NVM in
+   order, skipping entries whose redo valid-bit was unset by a regular-path
+   writeback (Figure 7), and the boundary's staged register checkpoints
+   are applied to the checkpoint array.
+2. **The uncommitted tail** — data entries after the last boundary belong
+   to the interrupted region, which never finished phase 1; their *undo*
+   data is applied in reverse, rolling NVM back to the last committed
+   region boundary.
+3. **Register restore** — the interrupted core's register file is reloaded
+   from the checkpoint array at the continuation's call depth; pruned
+   checkpoints are rebuilt by executing the region's recovery blocks
+   (Section 4.4.1).
+4. **Resume** — execution restarts at the beginning of the interrupted
+   region, with suspended caller frames restored from the continuation
+   (our image of the WSP-persistent stack; see DESIGN.md).
+
+A core with no committed boundary at all (crash before its first boundary
+entry became durable) restarts cold from its spawn configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.crash import CrashState
+from repro.ir.function import RecoveryBlock
+from repro.ir.instructions import BinOp, Move, UnOp, eval_binop, eval_unop
+from repro.ir.module import Module, ckpt_slot_addr
+from repro.ir.values import Reg
+from repro.isa.machine import Continuation, Machine
+
+
+class RecoveryError(Exception):
+    """Raised when the recovery protocol meets inconsistent durable state."""
+
+
+@dataclass
+class CoreResume:
+    """Where one core resumes after recovery."""
+
+    continuation: Continuation
+    region_id: int
+    registers: List[int]
+
+
+@dataclass
+class RecoveredState:
+    """Outcome of the recovery protocol."""
+
+    nvm_image: Dict[int, int]
+    #: per-core resume points; ``None`` = restart cold from spawn.
+    resumes: List[Optional[CoreResume]]
+    #: statistics
+    regions_redone: int = 0
+    regions_rolled_back: int = 0
+    redo_words: int = 0
+    undo_words: int = 0
+    recovery_blocks_run: int = 0
+
+
+def _eval_recovery_block(rb: RecoveryBlock, regs: List[int]) -> None:
+    """Execute a pure recovery slice over the restored register file."""
+    for instr in rb.instrs:
+        if isinstance(instr, BinOp):
+            a = regs[instr.lhs.index] if isinstance(instr.lhs, Reg) else instr.lhs.value
+            b = regs[instr.rhs.index] if isinstance(instr.rhs, Reg) else instr.rhs.value
+            regs[instr.dst.index] = eval_binop(instr.op, a, b)
+        elif isinstance(instr, UnOp):
+            a = regs[instr.src.index] if isinstance(instr.src, Reg) else instr.src.value
+            regs[instr.dst.index] = eval_unop(instr.op, a)
+        elif isinstance(instr, Move):
+            regs[instr.dst.index] = (
+                regs[instr.src.index] if isinstance(instr.src, Reg) else instr.src.value
+            )
+        else:  # pragma: no cover - pruning emits only pure instructions
+            raise RecoveryError(f"impure instruction in recovery block: {instr!r}")
+
+
+def recover(state: CrashState, module: Module) -> RecoveredState:
+    """Run the Section 5.4 protocol over a crash snapshot."""
+    image = dict(state.nvm_image)
+    resumes: List[Optional[CoreResume]] = []
+    out = RecoveredState(nvm_image=image, resumes=resumes)
+
+    for core in range(state.num_cores):
+        entries = state.core_entries[core]
+        # The resume point starts at the durable PC checkpoint (regions
+        # whose boundary entry already completed phase 2); surviving
+        # boundary entries in the buffers are newer and override it.
+        last_continuation, last_region_id = state.pc_checkpoints.get(
+            core, (None, None)
+        )
+        # Phase A: committed regions — redo in order, apply checkpoints.
+        tail_start = 0
+        for i, entry in enumerate(entries):
+            if entry.is_boundary:
+                for j in range(tail_start, i):
+                    data = entries[j]
+                    if data.redo_valid:
+                        image[data.addr] = data.redo
+                        out.redo_words += 1
+                for slot_addr, value in entry.ckpts.items():
+                    image[slot_addr] = value
+                last_continuation = entry.continuation
+                last_region_id = entry.region_id
+                out.regions_redone += 1
+                tail_start = i + 1
+        # Phase B: the uncommitted tail — undo in reverse.
+        tail = entries[tail_start:]
+        if tail:
+            for data in reversed(tail):
+                image[data.addr] = data.undo
+                out.undo_words += 1
+            out.regions_rolled_back += 1
+
+        # Phase C: register restore + recovery blocks.
+        if last_continuation is None:
+            resumes.append(None)  # cold restart from spawn
+            continue
+        cont: Continuation = last_continuation
+        func = module.functions.get(cont.func_name)
+        if func is None:
+            raise RecoveryError(
+                f"core {core}: continuation references unknown function "
+                f"{cont.func_name!r}"
+            )
+        depth = cont.depth
+        regs = [
+            image.get(ckpt_slot_addr(core, r, depth), 0)
+            for r in range(func.num_regs)
+        ]
+        for rb in func.recovery_blocks.get(last_region_id, []):
+            _eval_recovery_block(rb, regs)
+            out.recovery_blocks_run += 1
+        resumes.append(
+            CoreResume(
+                continuation=cont,
+                region_id=last_region_id,
+                registers=regs,
+            )
+        )
+    return out
+
+
+def prepare_resumed_run(
+    recovered: RecoveredState,
+    module: Module,
+    spawns: Sequence[Tuple[str, Sequence[int]]],
+    params=None,
+    threshold: int = 256,
+    quantum: int = 32,
+):
+    """Build a (machine, system) pair continuing execution *under Capri*.
+
+    Unlike :func:`resume_and_finish` (functional-only), the resumed run
+    drives a fresh :class:`~repro.arch.system.CapriSystem` seeded with the
+    recovered durable image — so a *second* power failure can be injected
+    and recovered, modelling repeated outages (whole-system persistence
+    must survive any number of them).
+    """
+    from repro.arch.params import SimParams
+    from repro.arch.system import CapriSystem
+
+    machine = _build_resumed_machine(recovered, module, spawns, quantum)
+    system = CapriSystem(
+        params or SimParams.scaled(),
+        num_cores=max(1, len(spawns)),
+        threshold=threshold,
+    )
+    system.machine = machine
+    system.nvm.image.update(recovered.nvm_image)
+    # The durable PC checkpoints survive the outage: re-seed them so an
+    # immediate second crash still finds its resume points.
+    for core, resume in enumerate(recovered.resumes):
+        if resume is not None:
+            system.nvm.pc_checkpoints[core] = (
+                resume.continuation,
+                resume.region_id,
+            )
+    return machine, system
+
+
+def _build_resumed_machine(
+    recovered: RecoveredState,
+    module: Module,
+    spawns: Sequence[Tuple[str, Sequence[int]]],
+    quantum: int,
+) -> Machine:
+    machine = Machine(module, quantum=quantum)
+    machine.memory = dict(recovered.nvm_image)
+    for core, resume in enumerate(recovered.resumes):
+        if resume is not None:
+            machine.resume(core, resume.continuation, resume.registers)
+        else:
+            if core >= len(spawns):
+                raise RecoveryError(
+                    f"core {core}: no spawn configuration for cold restart"
+                )
+            func_name, args = spawns[core]
+            func = module.functions[func_name]
+            cold = Continuation(
+                func_name=func_name,
+                label=func.entry.label,
+                index=0,
+                callstack=(),
+            )
+            regs = list(args) + [0] * (func.num_regs - len(args))
+            machine.resume(core, cold, regs)
+    for core in range(len(recovered.resumes), len(spawns)):
+        func_name, args = spawns[core]
+        hart = machine.spawn(func_name, args)
+        hart.started = True  # no spawn-time persistence events on replay
+    return machine
+
+
+def resume_and_finish(
+    recovered: RecoveredState,
+    module: Module,
+    spawns: Sequence[Tuple[str, Sequence[int]]],
+    quantum: int = 32,
+    max_steps: int = 50_000_000,
+    observer=None,
+) -> Machine:
+    """Restart execution from a recovered state and run to completion.
+
+    Cores with a resume point continue at their interrupted region; cores
+    without one restart from their spawn configuration.  Returns the
+    finished machine (its memory is the post-recovery final state).
+    """
+    machine = _build_resumed_machine(recovered, module, spawns, quantum)
+    machine.run(observer, max_steps=max_steps)
+    return machine

@@ -1,0 +1,164 @@
+"""Small-function inlining — an extension beyond the paper.
+
+Calls are mandatory region boundaries (Section 4.1), so call-dense code
+(the deepsjeng stand-in, OS-service code) pays boundary + argument-
+checkpoint costs at every call, and its regions stay short no matter the
+threshold — the paper's Section 6.3 closes by asking for region
+formations with more instructions.  Inlining small leaf functions removes
+those boundaries entirely: the callee's body joins the caller's region
+budget, unrolling and checkpoint optimisations then see through it.
+
+The pass is conservative: only *leaf* callees (no calls of their own, so
+no recursion and bounded growth) below an instruction budget are inlined,
+and each caller only grows up to a size cap.  Exercised by the
+``OptConfig.inlined()`` configuration and the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Branch,
+    Call,
+    Halt,
+    Instr,
+    Jump,
+    Ret,
+)
+from repro.ir.module import MAX_REGS, Module
+from repro.ir.values import Reg
+from repro.compiler.clone import clone_instr
+
+#: Callees larger than this are never inlined.
+DEFAULT_MAX_CALLEE_INSTRS = 32
+
+#: Stop growing a caller past this many instructions.
+DEFAULT_MAX_CALLER_INSTRS = 2048
+
+
+def _is_inlinable(callee: Function, max_instrs: int) -> bool:
+    """Leaf, small, and structurally simple enough to splice."""
+    if callee.num_instrs > max_instrs:
+        return False
+    for instr in callee.instructions():
+        if isinstance(instr, (Call, Halt)):
+            return False
+    return True
+
+
+def _remap_reg(reg: Reg, base: int) -> Reg:
+    return Reg(reg.index + base)
+
+
+def _remap_instr(instr: Instr, base: int) -> Instr:
+    """Clone ``instr`` with every register shifted by ``base``."""
+    new = clone_instr(instr)
+    for field in dataclasses.fields(new):
+        value = getattr(new, field.name)
+        if isinstance(value, Reg):
+            setattr(new, field.name, _remap_reg(value, base))
+        elif isinstance(value, tuple) and any(isinstance(v, Reg) for v in value):
+            setattr(
+                new,
+                field.name,
+                tuple(
+                    _remap_reg(v, base) if isinstance(v, Reg) else v
+                    for v in value
+                ),
+            )
+    return new
+
+
+def inline_call(
+    caller: Function,
+    label: str,
+    index: int,
+    callee: Function,
+) -> bool:
+    """Inline the ``Call`` at ``caller.blocks[label][index]`` in place.
+
+    Returns False if register pressure would exceed checkpoint storage.
+    """
+    call = caller.blocks[label].instrs[index]
+    assert isinstance(call, Call) and call.callee == callee.name
+    reg_base = caller.num_regs
+    if reg_base + callee.num_regs > MAX_REGS:
+        return False
+    caller.num_regs += callee.num_regs
+
+    from repro.ir.instructions import Move
+
+    # Split the caller's block: [prefix][inlined body...][continuation].
+    block = caller.blocks[label]
+    cont_label = caller.fresh_label(f"{label}.after_{callee.name}")
+    cont_instrs = block.instrs[index + 1 :]
+    del block.instrs[index:]
+
+    # Argument moves into the callee's (remapped) parameter registers.
+    for i, arg in enumerate(call.args):
+        block.append(Move(Reg(reg_base + i), arg))
+
+    # Clone the callee's blocks with renamed labels and remapped registers;
+    # returns become moves + jumps to the continuation.
+    label_map = {
+        l: caller.fresh_label(f"{l}.in_{callee.name}") for l in callee.blocks
+    }
+    entry_clone = label_map[callee.entry.label]
+    block.append(Jump(entry_clone))
+
+    for c_label, c_block in callee.blocks.items():
+        new_instrs: List[Instr] = []
+        for instr in c_block.instrs:
+            if isinstance(instr, Ret):
+                if call.dst is not None:
+                    from repro.ir.values import Imm
+
+                    value = instr.value
+                    if isinstance(value, Reg):
+                        value = _remap_reg(value, reg_base)
+                    elif value is None:
+                        value = Imm(0)  # machine convention for void rets
+                    new_instrs.append(Move(call.dst, value))
+                new_instrs.append(Jump(cont_label))
+            else:
+                remapped = _remap_instr(instr, reg_base)
+                remapped = clone_instr(remapped, label_map)
+                new_instrs.append(remapped)
+        caller.add_block(BasicBlock(label_map[c_label], new_instrs))
+
+    caller.add_block(BasicBlock(cont_label, cont_instrs))
+    return True
+
+
+def inline_small_functions(
+    module: Module,
+    max_callee_instrs: int = DEFAULT_MAX_CALLEE_INSTRS,
+    max_caller_instrs: int = DEFAULT_MAX_CALLER_INSTRS,
+) -> int:
+    """Inline every eligible call site in the module; returns the count."""
+    inlined = 0
+    for caller in module.functions.values():
+        changed = True
+        while changed and caller.num_instrs < max_caller_instrs:
+            changed = False
+            for label in list(caller.blocks.keys()):
+                block = caller.blocks[label]
+                for index, instr in enumerate(block.instrs):
+                    if not isinstance(instr, Call):
+                        continue
+                    callee = module.functions.get(instr.callee)
+                    if callee is None or callee is caller:
+                        continue
+                    if not _is_inlinable(callee, max_callee_instrs):
+                        continue
+                    if inline_call(caller, label, index, callee):
+                        inlined += 1
+                        changed = True
+                        break
+                if changed:
+                    break
+    return inlined

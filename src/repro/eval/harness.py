@@ -1,0 +1,120 @@
+"""Benchmark execution harness.
+
+One :class:`EvalHarness` owns the methodology of Section 6.1 translated to
+our substrate: every benchmark runs uninstrumented once per parameter set
+(the volatile baseline) and instrumented once per (config, threshold);
+results are normalised execution cycles plus compiler/persistence
+statistics.  Baselines are cached, and the paper's convention of
+*excluding* boundary and checkpoint instructions from the instruction
+budget is honoured by normalising cycles rather than instruction counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.arch.params import SimParams
+from repro.arch.system import SystemMetrics, run_workload
+from repro.compiler import CapriCompiler, OptConfig
+from repro.compiler.stats import RegionDynStats, RegionStatsObserver
+from repro.isa.machine import Machine
+from repro.workloads import Workload, get_workload
+
+
+@dataclass
+class BenchmarkResult:
+    """One benchmark x configuration measurement."""
+
+    name: str
+    suite: str
+    config_label: str
+    threshold: int
+    metrics: SystemMetrics
+    baseline_cycles: float
+    region_stats: Optional[RegionDynStats] = None
+
+    @property
+    def normalized_cycles(self) -> float:
+        """Execution cycles relative to the volatile baseline (Figures 8/9)."""
+        return self.metrics.exec_cycles / self.baseline_cycles
+
+    @property
+    def overhead_pct(self) -> float:
+        return (self.normalized_cycles - 1.0) * 100.0
+
+
+class EvalHarness:
+    """Runs benchmarks at configurations, caching volatile baselines."""
+
+    def __init__(
+        self,
+        params: Optional[SimParams] = None,
+        scale: float = 1.0,
+        quantum: int = 32,
+    ) -> None:
+        self.params = params or SimParams.scaled()
+        self.scale = scale
+        self.quantum = quantum
+        self._baseline_cache: Dict[str, float] = {}
+
+    # -- baseline -----------------------------------------------------------
+
+    def baseline_cycles(self, name: str) -> float:
+        """Volatile (uninstrumented, no persistence) execution cycles."""
+        cached = self._baseline_cache.get(name)
+        if cached is not None:
+            return cached
+        workload = get_workload(name)
+        module, spawns = workload.build(self.scale)
+        metrics, _ = run_workload(
+            module,
+            spawns,
+            params=self.params,
+            persistence=False,
+            quantum=self.quantum,
+        )
+        self._baseline_cache[name] = metrics.exec_cycles
+        return metrics.exec_cycles
+
+    # -- instrumented runs ------------------------------------------------------
+
+    def run(
+        self,
+        name: str,
+        config: OptConfig,
+        config_label: str = "",
+        collect_region_stats: bool = False,
+    ) -> BenchmarkResult:
+        """Compile with ``config`` and simulate under the Capri system."""
+        workload = get_workload(name)
+        module, spawns = workload.build(self.scale)
+        compiled = CapriCompiler(config).compile(module).module
+
+        region_stats: Optional[RegionDynStats] = None
+        if collect_region_stats and config.instrumented:
+            # Dedicated functional pass for region statistics (cheap).
+            obs = RegionStatsObserver()
+            machine = Machine(compiled, quantum=self.quantum)
+            for func_name, args in spawns:
+                machine.spawn(func_name, args)
+            machine.run(obs)
+            region_stats = obs.stats
+
+        metrics, _ = run_workload(
+            compiled,
+            spawns,
+            params=self.params,
+            threshold=config.threshold,
+            persistence=config.instrumented,
+            quantum=self.quantum,
+        )
+        return BenchmarkResult(
+            name=name,
+            suite=workload.suite,
+            config_label=config_label or repr(config),
+            threshold=config.threshold,
+            metrics=metrics,
+            baseline_cycles=self.baseline_cycles(name),
+            region_stats=region_stats,
+        )

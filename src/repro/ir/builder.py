@@ -1,0 +1,365 @@
+"""Fluent IR construction API.
+
+Workloads in :mod:`repro.workloads` build their kernels through
+:class:`IRBuilder` / :class:`FunctionBuilder` rather than constructing
+instruction lists by hand.  The builder offers:
+
+* automatic register allocation with optional debug names,
+* implicit block chaining (starting a new block from an unterminated one
+  inserts the fall-through jump),
+* structured control flow via context managers — ``for_range``,
+  ``while_loop``, ``if_then``, ``if_else`` — which expand to the plain
+  CFG the Capri passes analyse.
+
+Example
+-------
+>>> from repro.ir import IRBuilder
+>>> b = IRBuilder("demo")
+>>> arr = b.module.alloc("arr", 64)
+>>> with b.function("sum", params=["base", "n"]) as f:
+...     base, n = f.param(0), f.param(1)
+...     acc = f.li(0)
+...     with f.for_range(n) as i:
+...         off = f.shl(i, 3)
+...         addr = f.add(base, off)
+...         v = f.load(addr)
+...         f.move(acc, f.add(acc, v))
+...     f.ret(acc)
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence, Union
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    AtomicRMW,
+    BinOp,
+    Branch,
+    Call,
+    Fence,
+    Halt,
+    Instr,
+    Jump,
+    Load,
+    Move,
+    Ret,
+    Store,
+    UnOp,
+)
+from repro.ir.module import Module
+from repro.ir.values import Imm, Operand, Reg, as_operand
+
+OperandLike = Union[Operand, int]
+
+
+class FunctionBuilder:
+    """Builds one :class:`~repro.ir.function.Function`.
+
+    Use as a context manager (via :meth:`IRBuilder.function`) or call
+    :meth:`finish` explicitly.  Emission methods that produce a value
+    allocate and return a fresh destination register unless one is given.
+    """
+
+    def __init__(self, module: Module, name: str, params: Sequence[str] = ()) -> None:
+        self.module = module
+        self.func = Function(name, num_params=len(params), num_regs=len(params))
+        self._reg_names: List[str] = list(params)
+        self._label_counter = 0
+        self._current: Optional[BasicBlock] = self.func.new_block("entry")
+
+    # -- registers and labels ----------------------------------------------
+
+    def reg(self, name: Optional[str] = None) -> Reg:
+        """Allocate a fresh architectural register."""
+        idx = self.func.num_regs
+        self.func.num_regs += 1
+        self._reg_names.append(name or f"t{idx}")
+        return Reg(idx)
+
+    def param(self, index: int) -> Reg:
+        """The register holding parameter ``index``."""
+        if not 0 <= index < self.func.num_params:
+            raise IndexError(f"function has {self.func.num_params} params")
+        return Reg(index)
+
+    def label(self, hint: str = "bb") -> str:
+        """Return a fresh, unique block label."""
+        self._label_counter += 1
+        return f"{hint}.{self._label_counter}"
+
+    # -- block management ----------------------------------------------------
+
+    @property
+    def current(self) -> BasicBlock:
+        if self._current is None:
+            raise RuntimeError(
+                "no open block: start one with start_block() after a terminator"
+            )
+        return self._current
+
+    def start_block(self, label: str) -> BasicBlock:
+        """Begin a new block; fall through from an unterminated predecessor."""
+        if self._current is not None:
+            self.emit(Jump(label))
+        block = self.func.new_block(label)
+        self._current = block
+        return block
+
+    @property
+    def terminated(self) -> bool:
+        """True if there is no open block to append into."""
+        return self._current is None
+
+    def emit(self, instr: Instr) -> Instr:
+        self.current.append(instr)
+        if instr.is_terminator:
+            self._current = None
+        return instr
+
+    # -- simple instruction helpers ------------------------------------------
+
+    def li(self, value: int, dst: Optional[Reg] = None) -> Reg:
+        """Load an immediate into a (fresh or given) register."""
+        dst = dst or self.reg()
+        self.emit(Move(dst, Imm(value)))
+        return dst
+
+    def move(self, dst: Reg, src: OperandLike) -> Reg:
+        self.emit(Move(dst, as_operand(src)))
+        return dst
+
+    def binop(
+        self, op: str, lhs: OperandLike, rhs: OperandLike, dst: Optional[Reg] = None
+    ) -> Reg:
+        dst = dst or self.reg()
+        self.emit(BinOp(op, dst, as_operand(lhs), as_operand(rhs)))
+        return dst
+
+    def unop(self, op: str, src: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        dst = dst or self.reg()
+        self.emit(UnOp(op, dst, as_operand(src)))
+        return dst
+
+    # Convenience wrappers for the common ALU operators.
+    def add(self, a: OperandLike, b: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        return self.binop("add", a, b, dst)
+
+    def sub(self, a: OperandLike, b: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        return self.binop("sub", a, b, dst)
+
+    def mul(self, a: OperandLike, b: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        return self.binop("mul", a, b, dst)
+
+    def div(self, a: OperandLike, b: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        return self.binop("div", a, b, dst)
+
+    def rem(self, a: OperandLike, b: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        return self.binop("rem", a, b, dst)
+
+    def xor(self, a: OperandLike, b: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        return self.binop("xor", a, b, dst)
+
+    def and_(self, a: OperandLike, b: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        return self.binop("and", a, b, dst)
+
+    def or_(self, a: OperandLike, b: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        return self.binop("or", a, b, dst)
+
+    def shl(self, a: OperandLike, b: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        return self.binop("shl", a, b, dst)
+
+    def shr(self, a: OperandLike, b: OperandLike, dst: Optional[Reg] = None) -> Reg:
+        return self.binop("shr", a, b, dst)
+
+    def cmp(self, op: str, a: OperandLike, b: OperandLike) -> Reg:
+        """Comparison producing 0/1 (``op`` in slt/sle/sgt/sge/seq/sne)."""
+        return self.binop(op, a, b)
+
+    def load(self, addr: OperandLike, offset: int = 0, dst: Optional[Reg] = None) -> Reg:
+        dst = dst or self.reg()
+        self.emit(Load(dst, as_operand(addr), offset))
+        return dst
+
+    def store(self, value: OperandLike, addr: OperandLike, offset: int = 0) -> None:
+        self.emit(Store(as_operand(value), as_operand(addr), offset))
+
+    def call(
+        self,
+        callee: str,
+        args: Sequence[OperandLike] = (),
+        returns: bool = False,
+    ) -> Optional[Reg]:
+        dst = self.reg() if returns else None
+        self.emit(Call(callee, tuple(as_operand(a) for a in args), dst))
+        return dst
+
+    def ret(self, value: Optional[OperandLike] = None) -> None:
+        self.emit(Ret(as_operand(value) if value is not None else None))
+
+    def halt(self) -> None:
+        self.emit(Halt())
+
+    def fence(self) -> None:
+        self.emit(Fence())
+
+    def atomic(
+        self,
+        op: str,
+        addr: OperandLike,
+        value: OperandLike,
+        offset: int = 0,
+        dst: Optional[Reg] = None,
+    ) -> Reg:
+        """Atomic RMW returning the old memory value."""
+        dst = dst or self.reg()
+        self.emit(AtomicRMW(op, dst, as_operand(addr), as_operand(value), offset))
+        return dst
+
+    def io_write(self, port: int, value: OperandLike) -> None:
+        """Emit ``value`` to external device ``port`` (Section 3.3)."""
+        from repro.ir.instructions import IOWrite
+
+        self.emit(IOWrite(port, as_operand(value)))
+
+    def jump(self, label: str) -> None:
+        self.emit(Jump(label))
+
+    def branch(self, cond: OperandLike, if_true: str, if_false: str) -> None:
+        self.emit(Branch(as_operand(cond), if_true, if_false))
+
+    # -- structured control flow ----------------------------------------------
+
+    @contextmanager
+    def for_range(
+        self,
+        stop: OperandLike,
+        start: OperandLike = 0,
+        step: int = 1,
+        counter: Optional[Reg] = None,
+    ) -> Iterator[Reg]:
+        """``for i in range(start, stop, step)`` — yields the counter register.
+
+        The loop condition uses ``i < stop`` (or ``i > stop`` for negative
+        ``step``).  The trip count is *dynamic* from the compiler's point of
+        view whenever ``stop`` is a register, which is exactly the case the
+        paper's speculative unrolling targets (Section 4.3).
+        """
+        if step == 0:
+            raise ValueError("for_range step must be nonzero")
+        i = counter or self.reg("i")
+        self.move(i, start)
+        header = self.label("for.header")
+        body = self.label("for.body")
+        exit_ = self.label("for.exit")
+        self.start_block(header)
+        cond = self.cmp("slt" if step > 0 else "sgt", i, stop)
+        self.branch(cond, body, exit_)
+        self.start_block(body)
+        yield i
+        if not self.terminated:
+            self.add(i, step, dst=i)
+            self.jump(header)
+        self.func.new_block(exit_)
+        self._current = self.func.block(exit_)
+
+    @contextmanager
+    def while_loop(self, cond_emitter) -> Iterator[str]:
+        """``while cond:`` — ``cond_emitter()`` emits the condition each trip.
+
+        Yields the exit label so the body can break out via ``f.jump(exit)``.
+        """
+        header = self.label("while.header")
+        body = self.label("while.body")
+        exit_ = self.label("while.exit")
+        self.start_block(header)
+        cond = cond_emitter()
+        self.branch(cond, body, exit_)
+        self.start_block(body)
+        yield exit_
+        if not self.terminated:
+            self.jump(header)
+        self.func.new_block(exit_)
+        self._current = self.func.block(exit_)
+
+    @contextmanager
+    def if_then(self, cond: OperandLike) -> Iterator[None]:
+        """``if cond:`` with no else branch."""
+        then = self.label("if.then")
+        done = self.label("if.end")
+        self.branch(cond, then, done)
+        self.func.new_block(then)
+        self._current = self.func.block(then)
+        yield
+        if not self.terminated:
+            self.jump(done)
+        self.func.new_block(done)
+        self._current = self.func.block(done)
+
+    @contextmanager
+    def if_else(self, cond: OperandLike) -> Iterator["ElseHandle"]:
+        """``if cond: ... else: ...`` — call ``handle.otherwise()`` for else."""
+        then = self.label("if.then")
+        els = self.label("if.else")
+        done = self.label("if.end")
+        self.branch(cond, then, els)
+        self.func.new_block(then)
+        self._current = self.func.block(then)
+        handle = ElseHandle(self, els, done)
+        yield handle
+        if not self.terminated:
+            self.jump(done)
+        if not handle.entered_else:
+            # No else body emitted: the else label must still exist.
+            blk = self.func.new_block(els)
+            blk.append(Jump(done))
+        self.func.new_block(done)
+        self._current = self.func.block(done)
+
+    # -- finalisation -----------------------------------------------------------
+
+    def finish(self) -> Function:
+        """Seal the function, defaulting an open block to ``ret``."""
+        if self._current is not None:
+            self.emit(Ret())
+        self.module.add_function(self.func)
+        return self.func
+
+
+class ElseHandle:
+    """Handle yielded by :meth:`FunctionBuilder.if_else`."""
+
+    def __init__(self, fb: FunctionBuilder, else_label: str, done_label: str) -> None:
+        self._fb = fb
+        self._else = else_label
+        self._done = done_label
+        self.entered_else = False
+
+    def otherwise(self) -> None:
+        """Switch emission from the then-branch to the else-branch."""
+        if self.entered_else:
+            raise RuntimeError("otherwise() called twice")
+        if not self._fb.terminated:
+            self._fb.jump(self._done)
+        self.entered_else = True
+        self._fb.func.new_block(self._else)
+        self._fb._current = self._fb.func.block(self._else)
+
+
+class IRBuilder:
+    """Top-level builder owning a :class:`~repro.ir.module.Module`."""
+
+    def __init__(self, module_or_name: Union[Module, str] = "module") -> None:
+        if isinstance(module_or_name, Module):
+            self.module = module_or_name
+        else:
+            self.module = Module(module_or_name)
+
+    @contextmanager
+    def function(self, name: str, params: Sequence[str] = ()) -> Iterator[FunctionBuilder]:
+        """Context manager building a function and adding it to the module."""
+        fb = FunctionBuilder(self.module, name, params)
+        yield fb
+        fb.finish()

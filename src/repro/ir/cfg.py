@@ -1,0 +1,191 @@
+"""Control-flow graph utilities: successors/predecessors, dominators, loops.
+
+The Capri compiler needs three CFG facts:
+
+* predecessor/successor maps and a reverse postorder for the dataflow
+  solver (:mod:`repro.ir.dataflow`),
+* a dominator tree to identify natural-loop back edges,
+* natural loops with their headers and bodies — loop headers are mandatory
+  region-boundary points (Section 4.1) and loops are the target of
+  speculative unrolling (Section 4.3) and checkpoint LICM (Section 4.4.2).
+
+Dominators use the Cooper–Harvey–Kennedy iterative algorithm, which is
+simple and fast enough for the function sizes we build.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.ir.function import Function
+
+
+class CFG:
+    """Successor/predecessor maps and orderings for a function's blocks."""
+
+    def __init__(self, func: Function) -> None:
+        self.func = func
+        self.entry = func.entry.label
+        self.succs: Dict[str, List[str]] = {}
+        self.preds: Dict[str, List[str]] = {label: [] for label in func.blocks}
+        for label, block in func.blocks.items():
+            succs = block.successors()
+            self.succs[label] = succs
+            for s in succs:
+                if s not in self.preds:
+                    raise KeyError(
+                        f"block {label!r} branches to unknown label {s!r}"
+                    )
+                self.preds[s].append(label)
+        self.rpo = self._reverse_postorder()
+        self.rpo_index = {label: i for i, label in enumerate(self.rpo)}
+
+    def _reverse_postorder(self) -> List[str]:
+        seen: Set[str] = set()
+        postorder: List[str] = []
+        # Iterative DFS to avoid recursion limits on long CFGs.
+        stack: List[Tuple[str, int]] = [(self.entry, 0)]
+        seen.add(self.entry)
+        while stack:
+            label, child_idx = stack[-1]
+            succs = self.succs[label]
+            if child_idx < len(succs):
+                stack[-1] = (label, child_idx + 1)
+                child = succs[child_idx]
+                if child not in seen:
+                    seen.add(child)
+                    stack.append((child, 0))
+            else:
+                postorder.append(label)
+                stack.pop()
+        return list(reversed(postorder))
+
+    @property
+    def reachable(self) -> Set[str]:
+        """Labels reachable from the entry block."""
+        return set(self.rpo)
+
+
+class DomTree:
+    """Dominator tree (Cooper–Harvey–Kennedy iterative algorithm)."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self.idom: Dict[str, Optional[str]] = self._compute()
+
+    def _compute(self) -> Dict[str, Optional[str]]:
+        rpo = self.cfg.rpo
+        index = self.cfg.rpo_index
+        idom: Dict[str, Optional[str]] = {label: None for label in rpo}
+        idom[self.cfg.entry] = self.cfg.entry
+
+        def intersect(a: str, b: str) -> str:
+            while a != b:
+                while index[a] > index[b]:
+                    a = idom[a]  # type: ignore[assignment]
+                while index[b] > index[a]:
+                    b = idom[b]  # type: ignore[assignment]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for label in rpo:
+                if label == self.cfg.entry:
+                    continue
+                new_idom: Optional[str] = None
+                for pred in self.cfg.preds[label]:
+                    if pred not in index or idom.get(pred) is None:
+                        continue  # unreachable or not yet processed
+                    new_idom = pred if new_idom is None else intersect(pred, new_idom)
+                if new_idom is not None and idom[label] != new_idom:
+                    idom[label] = new_idom
+                    changed = True
+        idom[self.cfg.entry] = None  # entry has no immediate dominator
+        return idom
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True if block ``a`` dominates block ``b`` (reflexively)."""
+        node: Optional[str] = b
+        while node is not None:
+            if node == a:
+                return True
+            node = self.idom[node]
+        return False
+
+
+class Loop:
+    """A natural loop: header plus the body blocks reaching its back edge.
+
+    ``latches`` are the blocks with back edges to the header.  ``exits`` are
+    (block-in-loop, successor-outside-loop) pairs.  ``depth`` is the nesting
+    depth (1 = outermost); ``parent`` the innermost enclosing loop, if any.
+    """
+
+    def __init__(self, header: str, body: FrozenSet[str], latches: Tuple[str, ...]) -> None:
+        self.header = header
+        self.body = body
+        self.latches = latches
+        self.parent: Optional["Loop"] = None
+        self.depth = 1
+
+    def exits(self, cfg: CFG) -> List[Tuple[str, str]]:
+        out: List[Tuple[str, str]] = []
+        for label in sorted(self.body):
+            for succ in cfg.succs[label]:
+                if succ not in self.body:
+                    out.append((label, succ))
+        return out
+
+    def __contains__(self, label: str) -> bool:
+        return label in self.body
+
+    def __repr__(self) -> str:
+        return f"<Loop header={self.header} blocks={len(self.body)} depth={self.depth}>"
+
+
+def natural_loops(cfg: CFG, dom: Optional[DomTree] = None) -> List[Loop]:
+    """Find all natural loops; back edges t->h where h dominates t.
+
+    Back edges sharing a header are merged into a single loop, matching the
+    usual LLVM LoopInfo behaviour the paper's passes build on.  Returned
+    loops carry nesting (``parent``/``depth``) information and are ordered
+    outermost-first.
+    """
+    dom = dom or DomTree(cfg)
+    back_edges: Dict[str, List[str]] = {}
+    for label in cfg.rpo:
+        for succ in cfg.succs[label]:
+            if succ in cfg.rpo_index and dom.dominates(succ, label):
+                back_edges.setdefault(succ, []).append(label)
+
+    loops: List[Loop] = []
+    for header, latches in back_edges.items():
+        body: Set[str] = {header}
+        worklist = [t for t in latches if t != header]
+        body.update(worklist)
+        while worklist:
+            node = worklist.pop()
+            for pred in cfg.preds[node]:
+                if pred not in body and pred in cfg.rpo_index:
+                    body.add(pred)
+                    worklist.append(pred)
+        loops.append(Loop(header, frozenset(body), tuple(sorted(latches))))
+
+    # Establish nesting: loop A is nested in B if A's header is in B's body
+    # and A != B with A.body subset of B.body.
+    loops.sort(key=lambda l: len(l.body))
+    for i, inner in enumerate(loops):
+        for outer in loops[i + 1 :]:
+            if inner.header in outer.body and inner.body <= outer.body:
+                inner.parent = outer
+                break
+    for loop in loops:
+        depth = 1
+        p = loop.parent
+        while p is not None:
+            depth += 1
+            p = p.parent
+        loop.depth = depth
+    loops.sort(key=lambda l: l.depth)
+    return loops

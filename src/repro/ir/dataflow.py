@@ -1,0 +1,89 @@
+"""Generic iterative dataflow solver over block-level transfer functions.
+
+Both liveness (backward, union) and reaching definitions (forward, union)
+are instances of this worklist solver.  Facts are Python ``frozenset``-like
+sets; transfer functions are supplied per block.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, FrozenSet, Iterable, TypeVar
+
+from repro.ir.cfg import CFG
+
+T = TypeVar("T")
+
+TransferFn = Callable[[str, FrozenSet[T]], FrozenSet[T]]
+
+
+def solve_backward(
+    cfg: CFG,
+    transfer: TransferFn,
+    init: FrozenSet[T] = frozenset(),
+    boundary: FrozenSet[T] = frozenset(),
+) -> Dict[str, FrozenSet[T]]:
+    """Solve a backward may-analysis (union meet).
+
+    Returns the IN set of every reachable block, where
+    ``IN[b] = transfer(b, OUT[b])`` and ``OUT[b] = U IN[succ]``.
+    Exit blocks (no successors) use ``boundary`` as their OUT set.
+    """
+    in_sets: Dict[str, FrozenSet[T]] = {label: init for label in cfg.rpo}
+    worklist = deque(reversed(cfg.rpo))
+    queued = set(worklist)
+    while worklist:
+        label = worklist.popleft()
+        queued.discard(label)
+        succs = cfg.succs[label]
+        if succs:
+            out: FrozenSet[T] = frozenset().union(
+                *(in_sets[s] for s in succs if s in in_sets)
+            )
+        else:
+            out = boundary
+        new_in = transfer(label, out)
+        if new_in != in_sets[label]:
+            in_sets[label] = new_in
+            for pred in cfg.preds[label]:
+                if pred in in_sets and pred not in queued:
+                    worklist.append(pred)
+                    queued.add(pred)
+    return in_sets
+
+
+def solve_forward(
+    cfg: CFG,
+    transfer: TransferFn,
+    init: FrozenSet[T] = frozenset(),
+    boundary: FrozenSet[T] = frozenset(),
+) -> Dict[str, FrozenSet[T]]:
+    """Solve a forward may-analysis (union meet).
+
+    Returns the OUT set of every reachable block, where
+    ``OUT[b] = transfer(b, IN[b])`` and ``IN[b] = U OUT[pred]``.
+    The entry block uses ``boundary`` as its IN set.
+    """
+    out_sets: Dict[str, FrozenSet[T]] = {label: init for label in cfg.rpo}
+    worklist = deque(cfg.rpo)
+    queued = set(worklist)
+    while worklist:
+        label = worklist.popleft()
+        queued.discard(label)
+        preds = [p for p in cfg.preds[label] if p in out_sets]
+        if label == cfg.entry:
+            in_set: FrozenSet[T] = boundary
+            if preds:  # entry can also be a loop header
+                in_set = in_set.union(*(out_sets[p] for p in preds))
+        elif preds:
+            in_set = frozenset().union(*(out_sets[p] for p in preds))
+        else:
+            in_set = boundary
+        new_out = transfer(label, in_set)
+        if new_out != out_sets[label]:
+            out_sets[label] = new_out
+            for succ in cfg.succs[label]:
+                if succ in out_sets and succ not in queued:
+                    worklist.append(succ)
+                    queued.add(succ)
+    return out_sets

@@ -1,0 +1,76 @@
+"""Register liveness analysis.
+
+The Capri compiler checkpoints the *live-in* register set at region
+boundaries: "the compiler performs static analysis over the control flow
+graph to identify live-in registers to the next region" (Section 3.2).
+This module provides block-level live-in/live-out sets plus an
+instruction-level refinement used when boundaries fall mid-block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List
+
+from repro.ir.cfg import CFG
+from repro.ir.dataflow import solve_backward
+from repro.ir.function import Function
+
+
+@dataclass
+class LivenessInfo:
+    """Per-block liveness facts for one function."""
+
+    live_in: Dict[str, FrozenSet[int]]
+    live_out: Dict[str, FrozenSet[int]]
+
+    def live_before_index(self, func: Function, label: str, index: int) -> FrozenSet[int]:
+        """Registers live immediately before ``block.instrs[index]``.
+
+        Computed by walking the block backwards from its live-out set.
+        ``index == len(instrs)`` gives the live-out set itself.
+        """
+        block = func.blocks[label]
+        if not 0 <= index <= len(block.instrs):
+            raise IndexError(index)
+        live = set(self.live_out[label])
+        for instr in reversed(block.instrs[index:]):
+            for d in instr.defs():
+                live.discard(d.index)
+            for u in instr.uses():
+                live.add(u.index)
+        return frozenset(live)
+
+
+def _block_use_def(func: Function, label: str) -> tuple[FrozenSet[int], FrozenSet[int]]:
+    """(use, def) sets: use = upward-exposed reads, def = any write."""
+    uses: set[int] = set()
+    defs: set[int] = set()
+    for instr in func.blocks[label].instrs:
+        for u in instr.uses():
+            if u.index not in defs:
+                uses.add(u.index)
+        for d in instr.defs():
+            defs.add(d.index)
+    return frozenset(uses), frozenset(defs)
+
+
+def compute_liveness(func: Function, cfg: CFG | None = None) -> LivenessInfo:
+    """Compute live-in/live-out register-index sets for every reachable block."""
+    cfg = cfg or CFG(func)
+    use_def = {label: _block_use_def(func, label) for label in cfg.rpo}
+
+    def transfer(label: str, out: FrozenSet[int]) -> FrozenSet[int]:
+        use, defs = use_def[label]
+        return use | (out - defs)
+
+    live_in = solve_backward(cfg, transfer)
+    live_out: Dict[str, FrozenSet[int]] = {}
+    for label in cfg.rpo:
+        succs = cfg.succs[label]
+        live_out[label] = (
+            frozenset().union(*(live_in[s] for s in succs if s in live_in))
+            if succs
+            else frozenset()
+        )
+    return LivenessInfo(live_in=live_in, live_out=live_out)

@@ -1,0 +1,261 @@
+"""Textual IR parser: the inverse of :mod:`repro.ir.printer`.
+
+Lets kernels and test cases be written as plain text and round-trips with
+``format_function``/``format_module``::
+
+    func saxpy(params=3, regs=8):
+      entry:
+        r3 = #0
+        jump loop
+      loop:
+        r4 = slt r3, r2
+        branch r4 ? body : done
+      body:
+        r5 = load [r0+0]
+        store [r1+0] = r5
+        r3 = add r3, #1
+        jump loop
+      done:
+        ret r3
+
+Grammar (one instruction per line; ``#`` starts an immediate, ``rN`` a
+register):
+
+================================  =======================================
+``rD = <op> a, b``                binary ALU (op in BINARY_OPS)
+``rD = <op> a``                   unary ALU (op in UNARY_OPS)
+``rD = a``                        move
+``rD = load [a+off]``             load
+``store [a+off] = v``             store
+``rD = atomic_<op> [a+off], v``   atomic RMW
+``jump L`` / ``branch c ? T : F``  control flow
+``rD = call f(a, b)`` / ``call f()``  calls
+``ret`` / ``ret v`` / ``halt``    returns
+``fence`` / ``nop``               misc
+``region_boundary #N``            Capri boundary
+``ckpt rN``                       Capri checkpoint store
+================================  =======================================
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    ATOMIC_OPS,
+    BINARY_OPS,
+    UNARY_OPS,
+    AtomicRMW,
+    BinOp,
+    Branch,
+    Call,
+    CheckpointStore,
+    Fence,
+    Halt,
+    Instr,
+    Jump,
+    Load,
+    Move,
+    Nop,
+    RegionBoundary,
+    Ret,
+    Store,
+    UnOp,
+)
+from repro.ir.module import Module
+from repro.ir.values import Imm, Operand, Reg
+
+
+class ParseError(Exception):
+    """Raised on malformed IR text, with a line number."""
+
+    def __init__(self, line_no: int, line: str, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}: {line.strip()!r}")
+        self.line_no = line_no
+
+
+_FUNC_RE = re.compile(
+    r"^func\s+(?P<name>[\w.$-]+)\(params=(?P<params>\d+),\s*regs=(?P<regs>\d+)\):$"
+)
+_LABEL_RE = re.compile(r"^(?P<label>[\w.$-]+):$")
+_MEM_RE = re.compile(r"^\[(?P<base>\S+?)(?P<off>[+-]\d+)\]$")
+
+
+def _parse_operand(token: str, line_no: int, line: str) -> Operand:
+    token = token.strip()
+    if token.startswith("#"):
+        try:
+            return Imm(int(token[1:], 0))
+        except ValueError:
+            raise ParseError(line_no, line, f"bad immediate {token!r}")
+    if token.startswith("r") and token[1:].isdigit():
+        return Reg(int(token[1:]))
+    raise ParseError(line_no, line, f"bad operand {token!r}")
+
+
+def _parse_mem(token: str, line_no: int, line: str) -> Tuple[Operand, int]:
+    m = _MEM_RE.match(token.strip())
+    if not m:
+        raise ParseError(line_no, line, f"bad memory operand {token!r}")
+    base = _parse_operand(m.group("base"), line_no, line)
+    return base, int(m.group("off"))
+
+
+def _parse_reg(token: str, line_no: int, line: str) -> Reg:
+    op = _parse_operand(token, line_no, line)
+    if not isinstance(op, Reg):
+        raise ParseError(line_no, line, f"expected a register, got {token!r}")
+    return op
+
+
+def parse_instruction(text: str, line_no: int = 0) -> Instr:
+    """Parse one instruction line (the printer's format)."""
+    line = text.strip()
+    if line == "nop":
+        return Nop()
+    if line == "fence":
+        return Fence()
+    if line == "halt":
+        return Halt()
+    if line == "ret":
+        return Ret()
+    if line.startswith("ret "):
+        return Ret(_parse_operand(line[4:], line_no, line))
+    if line.startswith("jump "):
+        return Jump(line[5:].strip())
+    if line.startswith("branch "):
+        m = re.match(r"^branch\s+(\S+)\s*\?\s*(\S+)\s*:\s*(\S+)$", line)
+        if not m:
+            raise ParseError(line_no, line, "bad branch")
+        return Branch(
+            _parse_operand(m.group(1), line_no, line), m.group(2), m.group(3)
+        )
+    if line.startswith("region_boundary"):
+        m = re.match(r"^region_boundary\s+#(-?\d+)$", line)
+        if not m:
+            raise ParseError(line_no, line, "bad region_boundary")
+        return RegionBoundary(int(m.group(1)))
+    if line.startswith("ckpt "):
+        return CheckpointStore(_parse_reg(line[5:], line_no, line))
+    if line.startswith("io["):
+        m = re.match(r"^io\[(\d+)\]\s*=\s*(\S+)$", line)
+        if not m:
+            raise ParseError(line_no, line, "bad io write")
+        from repro.ir.instructions import IOWrite
+
+        return IOWrite(int(m.group(1)), _parse_operand(m.group(2), line_no, line))
+    if line.startswith("store "):
+        m = re.match(r"^store\s+(\S+)\s*=\s*(\S+)$", line)
+        if not m:
+            raise ParseError(line_no, line, "bad store")
+        base, off = _parse_mem(m.group(1), line_no, line)
+        return Store(_parse_operand(m.group(2), line_no, line), base, off)
+    if line.startswith("call ") or line.startswith("call("):
+        return _parse_call(line, line_no, dst=None)
+
+    # Assignments: "rD = <rhs>"
+    m = re.match(r"^(r\d+)\s*=\s*(.+)$", line)
+    if not m:
+        raise ParseError(line_no, line, "unrecognised instruction")
+    dst = _parse_reg(m.group(1), line_no, line)
+    rhs = m.group(2).strip()
+
+    if rhs.startswith("load "):
+        base, off = _parse_mem(rhs[5:], line_no, line)
+        return Load(dst, base, off)
+    if rhs.startswith("call "):
+        return _parse_call(rhs, line_no, dst=dst)
+    m2 = re.match(r"^atomic_(\w+)\s+(\S+)\s*,\s*(\S+)$", rhs)
+    if m2:
+        op = m2.group(1)
+        if op not in ATOMIC_OPS:
+            raise ParseError(line_no, line, f"unknown atomic op {op!r}")
+        base, off = _parse_mem(m2.group(2), line_no, line)
+        return AtomicRMW(op, dst, base, _parse_operand(m2.group(3), line_no, line), off)
+    m2 = re.match(r"^(\w+)\s+(\S+)\s*,\s*(\S+)$", rhs)
+    if m2 and m2.group(1) in BINARY_OPS:
+        return BinOp(
+            m2.group(1),
+            dst,
+            _parse_operand(m2.group(2), line_no, line),
+            _parse_operand(m2.group(3), line_no, line),
+        )
+    m2 = re.match(r"^(\w+)\s+(\S+)$", rhs)
+    if m2 and m2.group(1) in UNARY_OPS:
+        return UnOp(m2.group(1), dst, _parse_operand(m2.group(2), line_no, line))
+    # Bare operand: a move.
+    if re.match(r"^(#-?\w+|r\d+)$", rhs):
+        return Move(dst, _parse_operand(rhs, line_no, line))
+    raise ParseError(line_no, line, "unrecognised instruction")
+
+
+def _parse_call(text: str, line_no: int, dst: Optional[Reg]) -> Call:
+    m = re.match(r"^call\s+([\w.$-]+)\((.*)\)$", text.strip())
+    if not m:
+        raise ParseError(line_no, text, "bad call")
+    args_text = m.group(2).strip()
+    args: Tuple[Operand, ...] = ()
+    if args_text:
+        args = tuple(
+            _parse_operand(a, line_no, text) for a in args_text.split(",")
+        )
+    return Call(m.group(1), args, dst)
+
+
+def parse_function(text: str, start_line: int = 1) -> Function:
+    """Parse one ``func …:`` block (the printer's format)."""
+    lines = text.splitlines()
+    func: Optional[Function] = None
+    block: Optional[BasicBlock] = None
+    for offset, raw in enumerate(lines):
+        line_no = start_line + offset
+        line = raw.split(";", 1)[0].strip()  # ';' starts a comment
+        if not line:
+            continue
+        m = _FUNC_RE.match(line)
+        if m:
+            if func is not None:
+                raise ParseError(line_no, raw, "nested func")
+            func = Function(
+                m.group("name"),
+                num_params=int(m.group("params")),
+                num_regs=int(m.group("regs")),
+            )
+            continue
+        if func is None:
+            raise ParseError(line_no, raw, "instruction before func header")
+        m = _LABEL_RE.match(line)
+        if m:
+            block = func.new_block(m.group("label"))
+            continue
+        if block is None:
+            raise ParseError(line_no, raw, "instruction before a label")
+        block.append(parse_instruction(line, line_no))
+    if func is None:
+        raise ParseError(start_line, text[:40], "no func header found")
+    return func
+
+
+def parse_module(text: str, name: str = "parsed") -> Module:
+    """Parse multiple functions into a module.
+
+    Data-segment symbols are not expressed in text; allocate them on the
+    returned module before running.
+    """
+    module = Module(name)
+    chunks: List[Tuple[int, List[str]]] = []
+    current: Optional[List[str]] = None
+    for i, raw in enumerate(text.splitlines(), start=1):
+        if raw.strip().startswith("func "):
+            current = [raw]
+            chunks.append((i, current))
+        elif current is not None:
+            current.append(raw)
+    if not chunks:
+        raise ParseError(1, text[:40], "no functions found")
+    for start, lines in chunks:
+        module.add_function(parse_function("\n".join(lines), start))
+    return module

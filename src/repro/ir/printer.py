@@ -1,0 +1,36 @@
+"""Textual pretty-printer for IR, used in docs, examples and test output."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.function import Function
+from repro.ir.module import Module
+
+
+def format_function(func: Function) -> str:
+    """Render one function as readable assembly-like text."""
+    lines: List[str] = [f"func {func.name}(params={func.num_params}, regs={func.num_regs}):"]
+    for label, block in func.blocks.items():
+        lines.append(f"  {label}:")
+        for instr in block.instrs:
+            lines.append(f"    {instr!r}")
+    for region_id, blocks in sorted(func.recovery_blocks.items()):
+        for rb in blocks:
+            lines.append(f"  recovery[region #{region_id}] r{rb.target}:")
+            for instr in rb.instrs:
+                lines.append(f"    {instr!r}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    """Render a whole module, functions in insertion order."""
+    parts = [f"module {module.name}"]
+    if module.symbols:
+        parts.append("data:")
+        for name, addr in module.symbols.items():
+            parts.append(f"  {name} @ {addr:#x}")
+    for func in module.functions.values():
+        parts.append("")
+        parts.append(format_function(func))
+    return "\n".join(parts)

@@ -1,0 +1,90 @@
+"""Reaching-definitions analysis.
+
+A *definition* is a (block label, instruction index) pair whose instruction
+writes some register.  The checkpoint-pruning pass (Section 4.4.1) uses
+reaching definitions to build the backward slice that reconstructs a pruned
+register value at recovery time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.ir.cfg import CFG
+from repro.ir.dataflow import solve_forward
+from repro.ir.function import Function
+
+#: A definition site: (block label, instruction index, register index).
+DefSite = Tuple[str, int, int]
+
+
+@dataclass
+class ReachingDefs:
+    """Reaching-definition facts for one function."""
+
+    #: Definitions reaching the *entry* of each block.
+    reach_in: Dict[str, FrozenSet[DefSite]]
+    #: Definitions reaching the *exit* of each block.
+    reach_out: Dict[str, FrozenSet[DefSite]]
+    #: All definition sites of each register index.
+    defs_of: Dict[int, FrozenSet[DefSite]]
+
+    def reaching_at(self, func: Function, label: str, index: int) -> FrozenSet[DefSite]:
+        """Definitions reaching immediately before ``block.instrs[index]``."""
+        block = func.blocks[label]
+        if not 0 <= index <= len(block.instrs):
+            raise IndexError(index)
+        live = set(self.reach_in[label])
+        for i, instr in enumerate(block.instrs[:index]):
+            for d in instr.defs():
+                live = {site for site in live if site[2] != d.index}
+                live.add((label, i, d.index))
+        return frozenset(live)
+
+    def reaching_defs_of(
+        self, func: Function, label: str, index: int, reg_index: int
+    ) -> FrozenSet[DefSite]:
+        """Definition sites of ``reg_index`` reaching before instruction ``index``."""
+        return frozenset(
+            site
+            for site in self.reaching_at(func, label, index)
+            if site[2] == reg_index
+        )
+
+
+def compute_reaching_defs(func: Function, cfg: CFG | None = None) -> ReachingDefs:
+    """Compute reaching definitions for every reachable block."""
+    cfg = cfg or CFG(func)
+
+    gen: Dict[str, FrozenSet[DefSite]] = {}
+    kill_regs: Dict[str, FrozenSet[int]] = {}
+    defs_of: Dict[int, set] = {}
+    for label in cfg.rpo:
+        block = func.blocks[label]
+        last_def: Dict[int, DefSite] = {}
+        for i, instr in enumerate(block.instrs):
+            for d in instr.defs():
+                site = (label, i, d.index)
+                last_def[d.index] = site
+                defs_of.setdefault(d.index, set()).add(site)
+        gen[label] = frozenset(last_def.values())
+        kill_regs[label] = frozenset(last_def.keys())
+
+    def transfer(label: str, in_set: FrozenSet[DefSite]) -> FrozenSet[DefSite]:
+        killed = kill_regs[label]
+        survive = frozenset(site for site in in_set if site[2] not in killed)
+        return survive | gen[label]
+
+    reach_out = solve_forward(cfg, transfer)
+    reach_in: Dict[str, FrozenSet[DefSite]] = {}
+    for label in cfg.rpo:
+        preds = [p for p in cfg.preds[label] if p in reach_out]
+        reach_in[label] = (
+            frozenset().union(*(reach_out[p] for p in preds)) if preds else frozenset()
+        )
+    return ReachingDefs(
+        reach_in=reach_in,
+        reach_out=reach_out,
+        defs_of={r: frozenset(s) for r, s in defs_of.items()},
+    )

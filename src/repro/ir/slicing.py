@@ -1,0 +1,74 @@
+"""Backward slicing over reaching definitions.
+
+Checkpoint pruning (Section 4.4.1) replaces a removed checkpoint with "the
+backward slice of the pruned checkpoint, including the branch" — the
+instructions whose results the pruned register value depends on.  Given a
+use site, :func:`backward_slice` collects the definition sites that
+(transitively) feed it.
+
+The slice is *speculable* only if every instruction in it is recomputable
+from checkpointed inputs: pure ALU ops and moves qualify; loads, calls and
+atomics do not (their memory inputs may have changed by recovery time).
+The pruning pass uses :func:`slice_is_reconstructible` to decide.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Set, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instructions import BinOp, Instr, Move, UnOp
+from repro.ir.reaching import DefSite, ReachingDefs
+
+#: Instruction classes safe to re-execute at recovery time.
+_PURE = (BinOp, UnOp, Move)
+
+
+def backward_slice(
+    func: Function,
+    rdefs: ReachingDefs,
+    label: str,
+    index: int,
+    reg_index: int,
+    max_sites: int = 64,
+) -> Tuple[FrozenSet[DefSite], bool]:
+    """Collect definition sites feeding ``reg_index`` at (label, index).
+
+    Returns ``(sites, complete)``.  ``complete`` is False when the slice was
+    abandoned — it grew past ``max_sites`` (recovery code would be too
+    large) or reached the function entry without a defining instruction
+    (the value flows in as a parameter, so there is nothing to slice).
+    """
+    result: Set[DefSite] = set()
+    work: List[Tuple[str, int, int]] = [(label, index, reg_index)]
+    while work:
+        lbl, idx, reg = work.pop()
+        sites = rdefs.reaching_defs_of(func, lbl, idx, reg)
+        if not sites:
+            return frozenset(result), False  # reaches entry (parameter)
+        for site in sites:
+            if site in result:
+                continue
+            result.add(site)
+            if len(result) > max_sites:
+                return frozenset(result), False
+            s_label, s_index, _ = site
+            instr = func.blocks[s_label].instrs[s_index]
+            for use in instr.uses():
+                work.append((s_label, s_index, use.index))
+    return frozenset(result), True
+
+
+def slice_is_reconstructible(func: Function, sites: FrozenSet[DefSite]) -> bool:
+    """True if every instruction in the slice is safe to replay at recovery."""
+    for s_label, s_index, _ in sites:
+        if not isinstance(func.blocks[s_label].instrs[s_index], _PURE):
+            return False
+    return True
+
+
+def slice_instructions(func: Function, sites: FrozenSet[DefSite]) -> List[Instr]:
+    """Materialise the slice's instructions in layout order."""
+    order = {label: i for i, label in enumerate(func.blocks)}
+    ordered = sorted(sites, key=lambda s: (order[s[0]], s[1]))
+    return [func.blocks[lbl].instrs[idx] for lbl, idx, _ in ordered]

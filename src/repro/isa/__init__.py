@@ -1,0 +1,46 @@
+"""Functional machine: architecturally-correct execution of the IR.
+
+The machine executes one or more *harts* (hardware threads, one per core)
+over a shared word-granular memory, delivering an event stream to an
+:class:`~repro.isa.trace.Observer`.  The timing simulator and persistence
+engine in :mod:`repro.arch` are observers; tests use the collecting
+observer.
+
+The machine is the reference for architectural correctness: whatever the
+memory/persistence model does, recovered-and-resumed execution must agree
+with an uninterrupted run of this machine.
+"""
+
+from repro.isa.trace import (
+    Observer,
+    CollectingObserver,
+    CountingObserver,
+    EV_RETIRE,
+    EV_LOAD,
+    EV_STORE,
+    EV_CKPT,
+    EV_BOUNDARY,
+    EV_FENCE,
+    EV_ATOMIC,
+    EV_HALT,
+)
+from repro.isa.machine import Machine, Hart, Continuation, Frame, MachineError
+
+__all__ = [
+    "Observer",
+    "CollectingObserver",
+    "CountingObserver",
+    "Machine",
+    "Hart",
+    "Continuation",
+    "Frame",
+    "MachineError",
+    "EV_RETIRE",
+    "EV_LOAD",
+    "EV_STORE",
+    "EV_CKPT",
+    "EV_BOUNDARY",
+    "EV_FENCE",
+    "EV_ATOMIC",
+    "EV_HALT",
+]

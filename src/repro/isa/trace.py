@@ -1,0 +1,140 @@
+"""Event stream between the functional machine and its observers.
+
+Rather than materialising a trace list (memory-hungry for long runs), the
+machine invokes observer callbacks as it retires instructions.  The
+callback set mirrors what the Capri architecture reacts to:
+
+* every retired instruction (pipeline occupancy costs),
+* loads and stores with addresses and (for stores) old/new values — the
+  persistence engine builds undo+redo proxy entries from these,
+* checkpoint stores (routed to the front-end register-file storage,
+  Section 5.2.1),
+* region boundaries carrying the recovery continuation,
+* fences/atomics (persist-order points), and hart halts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+# Event kind tags used by CollectingObserver tuples.
+EV_RETIRE = "retire"
+EV_LOAD = "load"
+EV_STORE = "store"
+EV_CKPT = "ckpt"
+EV_BOUNDARY = "boundary"
+EV_FENCE = "fence"
+EV_ATOMIC = "atomic"
+EV_HALT = "halt"
+EV_IO = "io"
+
+
+class Observer:
+    """Base observer; all callbacks default to no-ops.
+
+    ``core`` is the hart/core id.  ``kind`` in :meth:`on_retire` is the
+    instruction class name (e.g. ``"BinOp"``), letting timing models assign
+    per-class costs without re-dispatching on types.
+    """
+
+    def on_retire(self, core: int, kind: str) -> None:  # noqa: D401
+        """Called once per retired instruction, before specific callbacks."""
+
+    def on_load(self, core: int, addr: int) -> None:
+        """A word load from ``addr`` retired."""
+
+    def on_store(self, core: int, addr: int, value: int, old: int) -> None:
+        """A word store retired: ``addr`` changed ``old`` -> ``value``."""
+
+    def on_ckpt(self, core: int, reg: int, value: int, addr: int) -> None:
+        """A register-checkpointing store retired (register ``reg``)."""
+
+    def on_boundary(self, core: int, region_id: int, continuation: Any) -> None:
+        """A region boundary retired; ``continuation`` is the resume point."""
+
+    def on_fence(self, core: int) -> None:
+        """A full memory fence retired."""
+
+    def on_atomic(self, core: int, addr: int, value: int, old: int) -> None:
+        """An atomic RMW retired (also reported as a store for persistence)."""
+
+    def on_halt(self, core: int) -> None:
+        """The hart halted (end of its program)."""
+
+    def on_io(self, core: int, port: int, value: int) -> None:
+        """An I/O write left the persistence domain (Section 3.3)."""
+
+
+class CollectingObserver(Observer):
+    """Records every event as a tuple; for tests and small demos only."""
+
+    def __init__(self) -> None:
+        self.events: List[Tuple[Any, ...]] = []
+
+    def on_retire(self, core, kind):
+        self.events.append((EV_RETIRE, core, kind))
+
+    def on_load(self, core, addr):
+        self.events.append((EV_LOAD, core, addr))
+
+    def on_store(self, core, addr, value, old):
+        self.events.append((EV_STORE, core, addr, value, old))
+
+    def on_ckpt(self, core, reg, value, addr):
+        self.events.append((EV_CKPT, core, reg, value, addr))
+
+    def on_boundary(self, core, region_id, continuation):
+        self.events.append((EV_BOUNDARY, core, region_id, continuation))
+
+    def on_fence(self, core):
+        self.events.append((EV_FENCE, core))
+
+    def on_atomic(self, core, addr, value, old):
+        self.events.append((EV_ATOMIC, core, addr, value, old))
+
+    def on_halt(self, core):
+        self.events.append((EV_HALT, core))
+
+    def on_io(self, core, port, value):
+        self.events.append((EV_IO, core, port, value))
+
+    def of_kind(self, kind: str) -> List[Tuple[Any, ...]]:
+        return [e for e in self.events if e[0] == kind]
+
+
+class CountingObserver(Observer):
+    """Cheap aggregate counters; used by the compiler-stats harness."""
+
+    def __init__(self) -> None:
+        self.retired = 0
+        self.loads = 0
+        self.stores = 0
+        self.ckpts = 0
+        self.boundaries = 0
+        self.fences = 0
+        self.atomics = 0
+        self.io_writes = 0
+
+    def on_retire(self, core, kind):
+        self.retired += 1
+
+    def on_load(self, core, addr):
+        self.loads += 1
+
+    def on_store(self, core, addr, value, old):
+        self.stores += 1
+
+    def on_ckpt(self, core, reg, value, addr):
+        self.ckpts += 1
+
+    def on_boundary(self, core, region_id, continuation):
+        self.boundaries += 1
+
+    def on_fence(self, core):
+        self.fences += 1
+
+    def on_atomic(self, core, addr, value, old):
+        self.atomics += 1
+
+    def on_io(self, core, port, value):
+        self.io_writes += 1

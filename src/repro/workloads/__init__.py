@@ -1,0 +1,35 @@
+"""Synthetic benchmark suite standing in for SPEC CPU2017 / STAMP / Splash-3.
+
+The paper evaluates Capri on licensed benchmark binaries we cannot run;
+what drives Capri's behaviour is program *shape* — store density, loop
+trip counts (short loops limit region sizes, Section 4.3), function-call
+frequency (calls are mandatory boundaries), register pressure (live-out
+sets size the checkpoint traffic), working-set size (writeback traffic on
+the regular path), and threading.  Each stand-in reproduces its
+benchmark's shape along those axes; see the per-function docstrings and
+DESIGN.md's substitution table.
+
+Public API:
+
+* :func:`repro.workloads.registry.get_workload` — name -> :class:`Workload`
+* :func:`repro.workloads.registry.all_workloads` / ``suite_workloads``
+* :data:`repro.workloads.registry.SUITES` — the Figure 8/9 benchmark lists
+"""
+
+from repro.workloads.registry import (
+    SUITES,
+    Workload,
+    all_workloads,
+    get_workload,
+    suite_workloads,
+    workload_names,
+)
+
+__all__ = [
+    "SUITES",
+    "Workload",
+    "all_workloads",
+    "get_workload",
+    "suite_workloads",
+    "workload_names",
+]

@@ -1,0 +1,310 @@
+"""Parametric kernel generators shared by the benchmark stand-ins.
+
+Each generator emits a characteristic program shape through the public
+IR-builder API.  The benchmark modules combine and parameterise them —
+trip counts, store densities and working sets are the levers that map a
+stand-in onto its paper benchmark (see the suite modules).
+
+All generators take a :class:`FunctionBuilder` and emit code inline, so a
+benchmark can stitch several phases into one program.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.ir.builder import FunctionBuilder
+from repro.ir.values import Reg
+
+#: Multiplicative hash constant (Knuth) used by the hash-based kernels.
+HASH_MULT = 0x9E3779B1
+
+
+def emit_streaming_stencil(
+    f: FunctionBuilder,
+    base: Reg,
+    words: int,
+    trips: Reg,
+    stores_per_iter: int = 4,
+) -> Reg:
+    """Long-trip streaming loop: load a neighbourhood, store several results.
+
+    Shape of lattice/grid codes (519.lbm, ocean): large regions even
+    without unrolling, high store density, sequential working set.
+    Returns an accumulator register.
+    """
+    acc = f.li(0)
+    lo = f.li(2**40)
+    hi = f.li(-(2**40))
+    mask = words - 1
+    with f.for_range(trips) as i:
+        idx = f.and_(i, mask)
+        addr = f.add(base, f.shl(idx, 3))
+        left = f.load(addr)
+        right = f.load(addr, offset=8)
+        center = f.add(left, f.shr(right, 1))
+        for k in range(stores_per_iter):
+            f.store(f.add(center, k), addr, offset=k * 8 % (words * 8 // 2))
+        f.add(acc, center, dst=acc)
+        f.binop("min", lo, center, dst=lo)
+        f.binop("max", hi, center, dst=hi)
+    return f.xor(acc, f.sub(hi, lo))
+
+
+def emit_short_loop_kernel(
+    f: FunctionBuilder,
+    base: Reg,
+    words: int,
+    outer_trips: Reg,
+    inner_trip_reg: Reg,
+    stores_per_iter: int = 1,
+    accumulators: int = 6,
+) -> Reg:
+    """Nested loop whose *inner* trip count is a runtime value and short.
+
+    This is the Section 4.3 motif (namd's neighbour lists, ssca2's
+    adjacency scans, volrend's ray steps): the compiler cannot see the
+    inner trip count, so without speculative unrolling every inner
+    iteration pays a header boundary and re-checkpoints the counters.
+    ``accumulators`` models the kernel's register pressure — each is
+    loop-carried and therefore live at the header boundary (checkpointed
+    once per region).  Returns the folded accumulator register.
+    """
+    accs = [f.li(k) for k in range(max(1, accumulators))]
+    mask = words - 1
+    with f.for_range(outer_trips) as i:
+        with f.for_range(inner_trip_reg) as j:
+            idx = f.and_(f.add(f.mul(i, 7), j), mask)
+            addr = f.add(base, f.shl(idx, 3))
+            v = f.load(addr)
+            for k in range(stores_per_iter):
+                f.store(f.add(v, j), addr, offset=(k * 8) % 64)
+            for k, acc in enumerate(accs):
+                f.add(acc, f.add(v, k) if k else v, dst=acc)
+    result = accs[0]
+    for acc in accs[1:]:
+        result = f.xor(result, acc)
+    return result
+
+
+def emit_pointer_chase(
+    f: FunctionBuilder,
+    nodes_base: Reg,
+    num_nodes: int,
+    hops: Reg,
+    update: bool = True,
+) -> Reg:
+    """Dependent-load chain over a node table with optional updates.
+
+    Shape of 505.mcf's network-simplex arc walks: latency-bound loads,
+    sparse stores, data-dependent control.  Node ``i`` is two words:
+    ``[value, next_index]``.  Returns the final accumulator.
+    """
+    acc = f.li(0)
+    positives = f.li(0)
+    idx = f.li(0)
+    mask = num_nodes - 1
+    with f.for_range(hops):
+        node = f.add(nodes_base, f.shl(f.mul(f.and_(idx, mask), 2), 3))
+        v = f.load(node)
+        nxt = f.load(node, offset=8)
+        if update:
+            with f.if_then(f.cmp("sgt", v, 0)):
+                f.store(f.add(v, 1), node)
+                f.add(positives, 1, dst=positives)
+        f.add(acc, v, dst=acc)
+        f.move(idx, nxt)
+    return f.xor(acc, f.shl(positives, 24))
+
+
+def emit_hash_insert_loop(
+    f: FunctionBuilder,
+    table_base: Reg,
+    table_words: int,
+    trips: Reg,
+    seed: int = 12345,
+) -> Reg:
+    """Hashed scatter stores: insert/update a hash table.
+
+    Shape of genome's segment dedup and vacation's index updates: random
+    single-word stores over a table, load-test-store per probe, with the
+    usual rolling statistics (collision/occupancy counters, checksum) kept
+    live across iterations.  Returns a fold of those statistics.
+    """
+    collisions = f.li(0)
+    occupancy = f.li(0)
+    checksum = f.li(seed >> 1)
+    key = f.li(seed)
+    mask = table_words - 1
+    with f.for_range(trips):
+        f.mul(key, HASH_MULT, dst=key)
+        f.xor(key, f.shr(key, 15), dst=key)
+        slot = f.and_(key, mask)
+        addr = f.add(table_base, f.shl(slot, 3))
+        old = f.load(addr)
+        with f.if_else(f.cmp("sne", old, 0)) as br:
+            f.add(collisions, 1, dst=collisions)
+            br.otherwise()
+            f.add(occupancy, 1, dst=occupancy)
+        f.store(f.add(old, 1), addr)
+        f.xor(checksum, f.add(old, slot), dst=checksum)
+    return f.xor(collisions, f.xor(f.shl(occupancy, 20), checksum))
+
+
+def emit_tree_walk(
+    f: FunctionBuilder,
+    tree_base: Reg,
+    depth_words: int,
+    walks: Reg,
+    fanout_bits: int = 1,
+) -> Reg:
+    """Implicit-heap tree descent with per-level touch.
+
+    Shape of barnes/fmm tree traversals and deepsjeng/leela search: a
+    branchy descent whose path depends on loaded data, with occasional
+    node updates.  The tree is an implicit binary heap of ``depth_words``
+    levels.  Returns an accumulator.
+    """
+    acc = f.li(0)
+    depth_sum = f.li(0)
+    visit_hash = f.li(0x1234)
+    key = f.li(0x5DEECE66)
+    with f.for_range(walks):
+        node = f.li(1)
+        f.mul(key, HASH_MULT, dst=key)
+        path = f.xor(key, f.shr(key, 11))
+        with f.for_range(depth_words) as lvl:
+            addr = f.add(tree_base, f.shl(node, 3))
+            v = f.load(addr)
+            f.add(acc, v, dst=acc)
+            f.add(depth_sum, lvl, dst=depth_sum)
+            f.xor(visit_hash, f.add(v, node), dst=visit_hash)
+            bit = f.and_(f.shr(path, lvl), (1 << fanout_bits) - 1)
+            f.move(node, f.add(f.shl(node, fanout_bits), bit))
+        # update the reached leaf: atomic, so concurrent walkers stay
+        # data-race-free (Splash-3 is the *properly synchronized* suite)
+        leaf_mask = (1 << (depth_words + 1)) - 1
+        leaf = f.and_(node, leaf_mask)
+        addr = f.add(tree_base, f.shl(leaf, 3))
+        f.atomic("add", addr, 1)
+    return f.xor(acc, f.xor(depth_sum, visit_hash))
+
+
+def emit_recursive_search(
+    b,
+    name: str,
+    branch_table: int,
+    max_depth: int,
+) -> None:
+    """Define a recursive game-tree search function ``name(depth, pos)``.
+
+    Shape of deepsjeng/leela: recursion (call boundaries every node),
+    branchy evaluation, few stores (the transposition-table update).
+    """
+    with b.function(name, params=["depth", "pos"]) as f:
+        # Static evaluation at every node: mobility/material-style scan
+        # (real engines spend most instructions here, between the calls).
+        e = f.mul(f.param(1), HASH_MULT)
+        with f.for_range(12):
+            f.xor(e, f.shr(e, 13), dst=e)
+            f.add(e, f.mul(f.and_(e, 0xFF), 31), dst=e)
+        with f.if_then(f.cmp("sle", f.param(0), 0)):
+            f.ret(f.and_(e, 0xFFFF))  # leaf: bounded 16-bit score
+        best = f.li(-(2**31))
+        # two children (alpha-beta style with a data-dependent cutoff)
+        for child in range(2):
+            pos = f.add(f.mul(f.param(1), 2), child + 1)
+            score = f.call(name, [f.sub(f.param(0), 1), pos], returns=True)
+            f.binop("max", best, score, dst=best)
+            # transposition-table store for this node
+            slot = f.and_(pos, 255)
+            f.store(best, f.add(branch_table, f.shl(slot, 3)))
+            # beta cutoff: stop exploring on a near-maximal score (rare)
+            with f.if_then(f.cmp("sgt", best, 0xFFF8)):
+                f.ret(best)
+        f.ret(best)
+
+
+def emit_grid_relax(
+    f: FunctionBuilder,
+    grid_base: Reg,
+    rows: int,
+    cols: int,
+    sweeps: Reg,
+) -> Reg:
+    """Red-black style grid relaxation (ocean/labyrinth shape).
+
+    Row-major neighbour averaging with a store per cell: long inner loops,
+    high store density, spatial locality.
+    """
+    acc = f.li(0)
+    residual = f.li(0)
+    with f.for_range(sweeps):
+        with f.for_range(rows - 2, start=1) as r:
+            row_off = f.mul(r, cols * 8)
+            with f.for_range(cols - 2, start=1) as c:
+                addr = f.add(grid_base, f.add(row_off, f.shl(c, 3)))
+                up = f.load(addr, offset=-cols * 8)
+                down = f.load(addr, offset=cols * 8)
+                left = f.load(addr, offset=-8)
+                right = f.load(addr, offset=8)
+                avg = f.shr(f.add(f.add(up, down), f.add(left, right)), 2)
+                old = f.load(addr)
+                f.store(avg, addr)
+                f.add(acc, avg, dst=acc)
+                f.add(residual, f.unop("abs", f.sub(avg, old)), dst=residual)
+    return f.xor(acc, residual)
+
+
+def emit_histogram_pass(
+    f: FunctionBuilder,
+    src_base: Reg,
+    src_words: int,
+    hist_base: Reg,
+    hist_words: int,
+    trips: Reg,
+) -> None:
+    """Counting pass of a radix sort: read keys, bump bucket counters.
+
+    Extremely store-dense with tiny loop bodies — radix's shape.
+    """
+    src_mask = src_words - 1
+    hist_mask = hist_words - 1
+    total = f.li(0)
+    max_key = f.li(0)
+    with f.for_range(trips) as i:
+        key = f.load(f.add(src_base, f.shl(f.and_(i, src_mask), 3)))
+        bucket = f.and_(key, hist_mask)
+        baddr = f.add(hist_base, f.shl(bucket, 3))
+        f.store(f.add(f.load(baddr), 1), baddr)
+        f.add(total, key, dst=total)
+        f.binop("max", max_key, key, dst=max_key)
+    f.store(f.xor(total, max_key), hist_base, offset=(hist_words - 1) * 8)
+
+
+def emit_locked_update(
+    f: FunctionBuilder,
+    lock_addr: int,
+    data_base: Reg,
+    data_words: int,
+    trips: Reg,
+    tid: Reg,
+) -> None:
+    """Lock-protected shared-counter updates (Splash-3 synchronisation).
+
+    Spin on an atomic test-and-set, update a shared cell, release.  The
+    atomics force region boundaries (Section 4.1), exactly as the paper's
+    multi-threaded suite does.
+    """
+    mask = data_words - 1
+    with f.for_range(trips) as i:
+        # acquire
+        with f.while_loop(
+            lambda: f.atomic("swap", lock_addr, 1)
+        ):
+            pass
+        slot = f.and_(f.add(i, tid), mask)
+        addr = f.add(data_base, f.shl(slot, 3))
+        f.store(f.add(f.load(addr), 1), addr)
+        # release
+        f.atomic("swap", lock_addr, 0)

@@ -1,0 +1,76 @@
+"""The OS-service stand-in.
+
+The paper recompiles the whole Linux kernel with the Capri compiler so
+the operating system itself lives in the persistence domain.  We cannot
+run Linux; this workload models the kernel-code contribution to WSP cost:
+syscall-handler-shaped code — short functions, frequent calls (mandatory
+boundaries), dense small stores to kernel structures (run queues, file
+tables), and branchy dispatch.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import IRBuilder
+from repro.ir.module import Module
+from repro.ir.verifier import verify_module
+from repro.workloads.generators import HASH_MULT
+
+
+def build_oskernel(scale: float = 1.0) -> Module:
+    """A syscall-dispatch loop over short handler functions."""
+    b = IRBuilder("oskernel")
+    runqueue = b.module.alloc("runqueue", 64)
+    filetable = b.module.alloc("filetable", 128)
+    counters = b.module.alloc("counters", 16)
+
+    with b.function("sys_sched", params=["task"]) as f:
+        slot = f.and_(f.param(0), 63)
+        addr = f.add(runqueue, f.shl(slot, 3))
+        f.store(f.add(f.load(addr), 1), addr)
+        f.store(f.param(0), counters, offset=0)
+        f.ret(slot)
+
+    with b.function("sys_open", params=["inode"]) as f:
+        h = f.mul(f.param(0), HASH_MULT)
+        slot = f.and_(f.xor(h, f.shr(h, 9)), 127)
+        addr = f.add(filetable, f.shl(slot, 3))
+        old = f.load(addr)
+        with f.if_else(f.cmp("seq", old, 0)) as br:
+            f.store(f.param(0), addr)
+            br.otherwise()
+            f.store(f.add(old, 1), addr)
+        f.store(f.param(0), counters, offset=8)
+        f.ret(slot)
+
+    with b.function("sys_write", params=["fd", "len"]) as f:
+        total = f.li(0)
+        with f.for_range(f.param(1)) as i:  # short copy loop
+            slot = f.and_(f.add(f.param(0), i), 127)
+            addr = f.add(filetable, f.shl(slot, 3))
+            f.store(f.add(f.load(addr), i), addr)
+            f.add(total, 1, dst=total)
+        f.store(total, counters, offset=16)
+        f.ret(total)
+
+    with b.function("main", params=["syscalls"]) as f:
+        rng = f.li(0xC0FFEE)
+        acc = f.li(0)
+        with f.for_range(f.param(0)):
+            f.mul(rng, HASH_MULT, dst=rng)
+            f.xor(rng, f.shr(rng, 17), dst=rng)
+            kind = f.and_(rng, 3)
+            with f.if_else(f.cmp("seq", kind, 0)) as br0:
+                r = f.call("sys_sched", [rng], returns=True)
+                f.add(acc, r, dst=acc)
+                br0.otherwise()
+                with f.if_else(f.cmp("seq", kind, 1)) as br1:
+                    r = f.call("sys_open", [rng], returns=True)
+                    f.add(acc, r, dst=acc)
+                    br1.otherwise()
+                    ln = f.add(f.and_(rng, 7), 1)
+                    r = f.call("sys_write", [rng, ln], returns=True)
+                    f.add(acc, r, dst=acc)
+        f.store(acc, counters, offset=24)
+        f.ret(acc)
+    verify_module(b.module)
+    return b.module

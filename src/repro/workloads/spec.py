@@ -1,0 +1,131 @@
+"""SPEC CPU2017 stand-ins (the five benchmarks of Figures 8-11).
+
+Each builder returns an uninstrumented module with a single-threaded
+``main``.  The ``scale`` parameter multiplies dynamic work so the same
+kernels serve quick tests (scale<1) and the benchmark harness (scale>=1).
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import IRBuilder
+from repro.ir.module import Module
+from repro.ir.verifier import verify_module
+from repro.workloads.generators import (
+    emit_hash_insert_loop,
+    emit_pointer_chase,
+    emit_recursive_search,
+    emit_short_loop_kernel,
+    emit_streaming_stencil,
+    emit_tree_walk,
+)
+
+
+def _scaled(n: int, scale: float, minimum: int = 4) -> int:
+    return max(minimum, int(n * scale))
+
+
+def build_mcf(scale: float = 1.0) -> Module:
+    """505.mcf_r — network simplex on sparse graphs.
+
+    Shape: pointer chasing over arc/node tables (latency bound), sparse
+    conditional updates, modest store density.  Long chase loops mean
+    regions are load-dominated; checkpoint traffic is the main Capri cost.
+    """
+    b = IRBuilder("505.mcf_r")
+    num_nodes = 512
+    nodes = b.module.alloc("nodes", 2 * num_nodes)
+    init = []
+    for i in range(num_nodes):
+        init += [i % 97 + 1, (i * 193 + 7) % num_nodes]
+    b.module.initial_data.update({nodes + k * 8: v for k, v in enumerate(init)})
+    with b.function("main") as f:
+        hops = f.li(_scaled(1500, scale))
+        acc = emit_pointer_chase(f, f.li(nodes), num_nodes, hops, update=True)
+        f.store(acc, nodes)
+        f.ret(acc)
+    verify_module(b.module)
+    return b.module
+
+
+def build_deepsjeng(scale: float = 1.0) -> Module:
+    """531.deepsjeng_r — alpha-beta chess search.
+
+    Shape: deep recursion (call boundaries per node), branchy evaluation,
+    sparse transposition-table stores.  Call-heavy code keeps regions
+    short regardless of the threshold — exactly the flat threshold curve
+    the paper shows for this benchmark.
+    """
+    b = IRBuilder("531.deepsjeng_r")
+    tt = b.module.alloc("ttable", 256)
+    emit_recursive_search(b, "search", tt, max_depth=12)
+    with b.function("main") as f:
+        depth = _scaled(11, min(1.0, scale), minimum=5)
+        best = f.call("search", [depth, 1], returns=True)
+        f.store(best, tt)
+        f.ret(best)
+    verify_module(b.module)
+    return b.module
+
+
+def build_leela(scale: float = 1.0) -> Module:
+    """541.leela_r — Monte-Carlo tree search for Go.
+
+    Shape: repeated tree descents with leaf playout compute and per-visit
+    node updates; a mix of branchy traversal and moderate stores.
+    """
+    b = IRBuilder("541.leela_r")
+    tree_levels = 10
+    tree = b.module.alloc("tree", 1 << (tree_levels + 2))
+    with b.function("main") as f:
+        walks = f.li(_scaled(120, scale))
+        acc = emit_tree_walk(f, f.li(tree), tree_levels, walks)
+        f.store(acc, tree)
+        f.ret(acc)
+    verify_module(b.module)
+    return b.module
+
+
+def build_namd(scale: float = 1.0) -> Module:
+    """508.namd_r — molecular dynamics force computation.
+
+    Shape: for each particle, a *short* runtime-length inner loop over its
+    neighbour list with a force accumulation store.  The paper highlights
+    namd as a large winner from speculative unrolling (Sections 4.3/6.2):
+    the short inner loop otherwise bounds every region at a handful of
+    stores.
+    """
+    b = IRBuilder("508.namd_r")
+    words = 1024
+    forces = b.module.alloc("forces", words)
+    with b.function("main") as f:
+        outer = f.li(_scaled(80, scale))
+        # Neighbour-list length is runtime data: ~16 per particle.
+        neighbors = f.li(16)
+        acc = emit_short_loop_kernel(
+            f, f.li(forces), words, outer, neighbors, stores_per_iter=1
+        )
+        f.store(acc, forces)
+        f.ret(acc)
+    verify_module(b.module)
+    return b.module
+
+
+def build_lbm(scale: float = 1.0) -> Module:
+    """519.lbm_r — lattice Boltzmann fluid streaming.
+
+    Shape: long streaming loops with several stores per site (the D3Q19
+    site update writes many distributions) — the most store-dense SPEC
+    member, stressing proxy-path and NVM write bandwidth.
+    """
+    b = IRBuilder("519.lbm_r")
+    words = 2048
+    lattice = b.module.alloc("lattice", words, init=[i % 101 for i in range(words)])
+    with b.function("main") as f:
+        trips = f.li(_scaled(500, scale))
+        acc = emit_streaming_stencil(
+            f, f.li(lattice), words, trips, stores_per_iter=5
+        )
+        f.store(acc, lattice)
+        f.ret(acc)
+    verify_module(b.module)
+    return b.module

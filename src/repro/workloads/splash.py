@@ -1,0 +1,230 @@
+"""Splash-3 stand-ins — the paper's multi-threaded scientific suite.
+
+Every builder returns a module whose ``worker(tid, ...)`` function runs on
+``SPLASH_THREADS`` harts over shared data; synchronisation uses atomic
+spin locks (mandatory region boundaries, Section 4.1) and disjoint
+per-thread partitions, mirroring Splash-3's properly-synchronised style.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.ir.builder import IRBuilder
+from repro.ir.module import Module
+from repro.ir.verifier import verify_module
+from repro.workloads.generators import (
+    emit_grid_relax,
+    emit_hash_insert_loop,
+    emit_histogram_pass,
+    emit_locked_update,
+    emit_pointer_chase,
+    emit_short_loop_kernel,
+    emit_streaming_stencil,
+    emit_tree_walk,
+)
+
+#: Default hart count for the multi-threaded suite (the paper models 8
+#: cores; we default to 4 to keep simulation turnaround reasonable).
+#: Every builder accepts ``threads=`` to override (the core-count
+#: scaling ablation uses 1..8).
+SPLASH_THREADS = 4
+
+
+def _scaled(n: int, scale: float, minimum: int = 2) -> int:
+    return max(minimum, int(n * scale))
+
+
+Spawns = List[Tuple[str, Sequence[int]]]
+
+
+def _spawns(args_fn, threads: int) -> Spawns:
+    return [("worker", list(args_fn(tid))) for tid in range(threads)]
+
+
+def build_barnes(scale: float = 1.0, threads: int = SPLASH_THREADS) -> Tuple[Module, Spawns]:
+    """barnes — Barnes-Hut N-body: per-thread octree walks + body updates."""
+    b = IRBuilder("barnes")
+    tree_levels = 9
+    tree = b.module.alloc("octree", 1 << (tree_levels + 2))
+    bodies = b.module.alloc("bodies", 512)
+    with b.function("worker", params=["tid", "walks"]) as f:
+        acc = emit_tree_walk(f, f.li(tree), tree_levels, f.param(1))
+        # disjoint per-thread body partition update
+        part = f.add(bodies, f.shl(f.mul(f.param(0), 512 // max(1, threads)), 3))
+        with f.for_range(32) as i:
+            addr = f.add(part, f.shl(i, 3))
+            f.store(f.add(f.load(addr), acc), addr)
+        f.ret(acc)
+    verify_module(b.module)
+    walks = _scaled(40, scale)
+    return b.module, _spawns(lambda tid: (tid, walks), threads)
+
+
+def build_fmm(scale: float = 1.0, threads: int = SPLASH_THREADS) -> Tuple[Module, Spawns]:
+    """fmm — fast multipole: hierarchical cell interactions, short lists."""
+    b = IRBuilder("fmm")
+    words = 1024
+    cells = b.module.alloc("cells", words, init=[i % 43 for i in range(words)])
+    part_words = words // max(1, threads)
+    with b.function("worker", params=["tid", "outer"]) as f:
+        lists = f.li(10)  # interaction-list length (runtime data, short)
+        part = f.add(cells, f.shl(f.mul(f.param(0), part_words), 3))
+        acc = emit_short_loop_kernel(
+            f, part, part_words, f.param(1), lists, stores_per_iter=1
+        )
+        f.ret(acc)
+    verify_module(b.module)
+    outer = _scaled(30, scale)
+    return b.module, _spawns(lambda tid: (tid, outer), threads)
+
+
+def build_ocean(scale: float = 1.0, threads: int = SPLASH_THREADS) -> Tuple[Module, Spawns]:
+    """ocean — grid relaxation over disjoint row bands, lock-synced."""
+    b = IRBuilder("ocean")
+    rows, cols = 20, 20
+    grids = [
+        b.module.alloc(
+            f"grid{t}", rows * cols, init=[(i * 13) % 89 for i in range(rows * cols)]
+        )
+        for t in range(threads)
+    ]
+    lock = b.module.alloc("lock", 1)
+    shared = b.module.alloc("shared_sum", 8)
+    with b.function("worker", params=["grid", "sweeps", "tid"]) as f:
+        acc = emit_grid_relax(f, f.param(0), rows, cols, f.param(1))
+        emit_locked_update(f, lock, f.li(shared), 8, f.li(2), f.param(2))
+        f.store(acc, f.param(0))
+        f.ret(acc)
+    verify_module(b.module)
+    sweeps = _scaled(3, scale, minimum=1)
+    return b.module, [
+        ("worker", [grids[t], sweeps, t]) for t in range(threads)
+    ]
+
+
+def build_radiosity(scale: float = 1.0, threads: int = SPLASH_THREADS) -> Tuple[Module, Spawns]:
+    """radiosity — task-queue driven patch refinement: hash + chase mix."""
+    b = IRBuilder("radiosity")
+    patches = b.module.alloc("patches", 1024)
+    queues = b.module.alloc("queues", 2 * 256)
+    init = []
+    for i in range(256):
+        init += [i % 7 + 1, (i * 47 + 3) % 256]
+    b.module.initial_data.update({queues + k * 8: v for k, v in enumerate(init)})
+    with b.function("worker", params=["tid", "n"]) as f:
+        part_words = 1024 // max(1, threads)
+        col = emit_hash_insert_loop(
+            f,
+            f.add(patches, f.shl(f.mul(f.param(0), part_words), 3)),
+            min(256, part_words),
+            f.param(1),
+        )
+        acc = emit_pointer_chase(f, f.li(queues), 256, f.param(1), update=False)
+        f.ret(f.add(col, acc))
+    verify_module(b.module)
+    n = _scaled(120, scale)
+    return b.module, _spawns(lambda tid: (tid, n), threads)
+
+
+def build_raytrace(scale: float = 1.0, threads: int = SPLASH_THREADS) -> Tuple[Module, Spawns]:
+    """raytrace — per-ray BVH descent with short shading stores."""
+    b = IRBuilder("raytrace")
+    tree_levels = 11
+    bvh = b.module.alloc("bvh", 1 << (tree_levels + 2))
+    frame = b.module.alloc("frame", 1024)
+    with b.function("worker", params=["tid", "rays"]) as f:
+        acc = emit_tree_walk(f, f.li(bvh), tree_levels, f.param(1))
+        part = f.add(frame, f.shl(f.mul(f.param(0), 1024 // max(1, threads)), 3))
+        with f.for_range(16) as i:
+            f.store(f.add(acc, i), f.add(part, f.shl(i, 3)))
+        f.ret(acc)
+    verify_module(b.module)
+    rays = _scaled(35, scale)
+    return b.module, _spawns(lambda tid: (tid, rays), threads)
+
+
+def build_volrend(scale: float = 1.0, threads: int = SPLASH_THREADS) -> Tuple[Module, Spawns]:
+    """volrend — volume-rendering ray casting: very short sampling loops.
+
+    The paper names volrend among the biggest unrolling winners; its
+    per-ray sample loop is tiny and runtime bounded."""
+    b = IRBuilder("volrend")
+    words = 2048
+    volume = b.module.alloc("volume", words, init=[i % 29 for i in range(words)])
+    part_words = words // max(1, threads)
+    with b.function("worker", params=["tid", "rays"]) as f:
+        samples = f.li(12)  # samples per ray segment: short, runtime data
+        part = f.add(volume, f.shl(f.mul(f.param(0), part_words), 3))
+        acc = emit_short_loop_kernel(
+            f, part, part_words, f.param(1), samples, stores_per_iter=1
+        )
+        f.ret(acc)
+    verify_module(b.module)
+    rays = _scaled(40, scale)
+    return b.module, _spawns(lambda tid: (tid, rays), threads)
+
+
+def build_water_nsquared(scale: float = 1.0, threads: int = SPLASH_THREADS) -> Tuple[Module, Spawns]:
+    """water-nsquared — all-pairs molecular forces, locked accumulation."""
+    b = IRBuilder("water-nsquared")
+    mols = 48
+    positions = b.module.alloc(
+        "positions", mols, init=[(i * 17) % 83 for i in range(mols)]
+    )
+    forces = b.module.alloc("forces", mols * threads)
+    lock = b.module.alloc("lock", 1)
+    shared = b.module.alloc("potential", 8)
+    with b.function("worker", params=["tid", "pairs"]) as f:
+        acc = f.li(0)
+        with f.for_range(f.param(1)) as i:
+            a = f.and_(f.mul(i, 7), mols - 1)
+            c = f.and_(f.add(f.mul(i, 13), f.param(0)), mols - 1)
+            pa = f.load(f.add(positions, f.shl(a, 3)))
+            pb = f.load(f.add(positions, f.shl(c, 3)))
+            force = f.sub(pa, pb)
+            # disjoint per-thread force slot
+            slot = f.add(f.mul(f.param(0), mols), a)
+            faddr = f.add(forces, f.shl(slot, 3))
+            f.store(f.add(f.load(faddr), force), faddr)
+            f.add(acc, force, dst=acc)
+        emit_locked_update(f, lock, f.li(shared), 8, f.li(2), f.param(0))
+        f.ret(acc)
+    verify_module(b.module)
+    pairs = _scaled(200, scale)
+    return b.module, _spawns(lambda tid: (tid, pairs), threads)
+
+
+def build_water_spatial(scale: float = 1.0, threads: int = SPLASH_THREADS) -> Tuple[Module, Spawns]:
+    """water-spatial — cell-list molecular forces: short per-cell loops."""
+    b = IRBuilder("water-spatial")
+    words = 1024
+    cells = b.module.alloc("cells", words, init=[i % 37 for i in range(words)])
+    part_words = words // max(1, threads)
+    with b.function("worker", params=["tid", "cells_n"]) as f:
+        occupants = f.li(8)  # molecules per cell: short, runtime data
+        part = f.add(cells, f.shl(f.mul(f.param(0), part_words), 3))
+        acc = emit_short_loop_kernel(
+            f, part, part_words, f.param(1), occupants, stores_per_iter=1
+        )
+        f.ret(acc)
+    verify_module(b.module)
+    cells_n = _scaled(50, scale)
+    return b.module, _spawns(lambda tid: (tid, cells_n), threads)
+
+
+def build_radix(scale: float = 1.0, threads: int = SPLASH_THREADS) -> Tuple[Module, Spawns]:
+    """radix — parallel radix sort: histogram passes, maximal store density."""
+    b = IRBuilder("radix")
+    src_words = 1024
+    keys = b.module.alloc(
+        "keys", src_words, init=[(i * 2654435761) % 4096 for i in range(src_words)]
+    )
+    hists = b.module.alloc("hists", 256 * threads)
+    with b.function("worker", params=["tid", "n"]) as f:
+        hist = f.add(hists, f.shl(f.mul(f.param(0), 256), 3))
+        emit_histogram_pass(f, f.li(keys), src_words, hist, 256, f.param(1))
+        f.ret()
+    verify_module(b.module)
+    n = _scaled(300, scale)
+    return b.module, _spawns(lambda tid: (tid, n), threads)

@@ -1,0 +1,145 @@
+"""STAMP stand-ins (compiled sequential, as in the paper's methodology).
+
+The paper runs the five STAMP members of Figures 8-11 as sequential
+programs; the transactional structure survives as *phases* of map/queue
+manipulation with data-dependent control flow.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import IRBuilder
+from repro.ir.module import Module
+from repro.ir.verifier import verify_module
+from repro.workloads.generators import (
+    HASH_MULT,
+    emit_grid_relax,
+    emit_hash_insert_loop,
+    emit_pointer_chase,
+    emit_short_loop_kernel,
+    emit_tree_walk,
+)
+
+
+def _scaled(n: int, scale: float, minimum: int = 4) -> int:
+    return max(minimum, int(n * scale))
+
+
+def build_genome(scale: float = 1.0) -> Module:
+    """genome — gene sequencing by segment deduplication and overlap match.
+
+    Shape: phase 1 hashes segments into a set (hash-probe + insert
+    stores); phase 2 links matched segments (pointer updates).  Hash
+    scatter dominates: random single-word stores over a table.
+    """
+    b = IRBuilder("genome")
+    table_words = 1024
+    table = b.module.alloc("segments", table_words)
+    chain = b.module.alloc("chain", 512)
+    with b.function("dedup", params=["table", "n"]) as f:
+        collisions = emit_hash_insert_loop(
+            f, f.param(0), table_words, f.param(1), seed=777
+        )
+        f.ret(collisions)
+    with b.function("main") as f:
+        n = f.li(_scaled(600, scale))
+        col = f.call("dedup", [table, n], returns=True)
+        # overlap-link phase: short chase over the chain table
+        hops = f.li(_scaled(200, scale))
+        acc = emit_pointer_chase(f, f.li(chain), 256, hops, update=True)
+        f.store(f.add(col, acc), chain)
+        f.ret(col)
+    verify_module(b.module)
+    return b.module
+
+
+def build_intruder(scale: float = 1.0) -> Module:
+    """intruder — network-packet reassembly and signature detection.
+
+    Shape: per-packet, a short runtime-length fragment loop feeding a map
+    insert, then a branchy scan.  Short inner loops make it an unrolling
+    beneficiary; hash inserts give scattered stores.
+    """
+    b = IRBuilder("intruder")
+    frag_words = 512
+    frags = b.module.alloc("frags", frag_words)
+    flows = b.module.alloc("flows", 256)
+    with b.function("main") as f:
+        packets = f.li(_scaled(70, scale))
+        frag_count = f.li(8)  # fragments per packet: runtime data
+        acc = emit_short_loop_kernel(
+            f, f.li(frags), frag_words, packets, frag_count, stores_per_iter=1
+        )
+        n = f.li(_scaled(250, scale))
+        col = emit_hash_insert_loop(f, f.li(flows), 256, n, seed=31337)
+        f.store(f.add(acc, col), flows)
+        f.ret(acc)
+    verify_module(b.module)
+    return b.module
+
+
+def build_labyrinth(scale: float = 1.0) -> Module:
+    """labyrinth — 3-D grid maze routing.
+
+    Shape: breadth-first wavefront expansion over a grid — store bursts
+    per wavefront with spatial locality; modelled as repeated grid
+    relaxation sweeps plus path write-back.
+    """
+    b = IRBuilder("labyrinth")
+    rows, cols = 24, 24
+    grid = b.module.alloc(
+        "grid", rows * cols, init=[(i * 31) % 173 for i in range(rows * cols)]
+    )
+    with b.function("main") as f:
+        sweeps = f.li(_scaled(4, scale, minimum=1))
+        acc = emit_grid_relax(f, f.li(grid), rows, cols, sweeps)
+        f.store(acc, grid)
+        f.ret(acc)
+    verify_module(b.module)
+    return b.module
+
+
+def build_ssca2(scale: float = 1.0) -> Module:
+    """ssca2 — scalable synthetic compact applications graph kernel.
+
+    Shape: per-vertex scans of *short* adjacency lists with per-edge
+    stores.  The paper singles out ssca2's threshold-32 -> 64 jump and its
+    unrolling benefit: its tiny inner loops bound regions hard.
+    """
+    b = IRBuilder("ssca2")
+    words = 2048
+    adj = b.module.alloc("adjacency", words, init=[i % 59 for i in range(words)])
+    with b.function("main") as f:
+        vertices = f.li(_scaled(120, scale))
+        degree = f.li(8)  # short adjacency lists, runtime value
+        acc = emit_short_loop_kernel(
+            f, f.li(adj), words, vertices, degree, stores_per_iter=1
+        )
+        f.store(acc, adj)
+        f.ret(acc)
+    verify_module(b.module)
+    return b.module
+
+
+def build_vacation(scale: float = 1.0) -> Module:
+    """vacation — travel-reservation database.
+
+    Shape: per-transaction tree lookups (customer/flight/room tables)
+    followed by reservation updates — tree walks plus hash-table stores.
+    """
+    b = IRBuilder("vacation")
+    tree_levels = 8
+    tree = b.module.alloc("relation", 1 << (tree_levels + 2))
+    reservations = b.module.alloc("reservations", 512)
+    with b.function("transact", params=["tree", "reservations", "n"]) as f:
+        from repro.workloads.generators import emit_tree_walk as walk
+
+        acc = walk(f, f.param(0), tree_levels, f.param(2))
+        col = emit_hash_insert_loop(f, f.param(1), 512, f.param(2), seed=99)
+        f.ret(f.add(acc, col))
+    with b.function("main") as f:
+        n = f.li(_scaled(90, scale))
+        total = f.call("transact", [tree, reservations, n], returns=True)
+        f.store(total, reservations)
+        f.ret(total)
+    verify_module(b.module)
+    return b.module

@@ -1,0 +1,76 @@
+"""Shared workload builders for architecture tests."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import pytest
+
+from repro.compiler import CapriCompiler, OptConfig
+from repro.ir import IRBuilder, verify_module
+from repro.ir.module import Module, is_ckpt_addr
+from repro.isa import Machine
+
+
+def data_memory(machine: Machine) -> dict:
+    """Final data-segment memory (checkpoint storage masked out)."""
+    return {a: v for a, v in machine.memory.items() if not is_ckpt_addr(a)}
+
+
+def build_update_loop(n_iters: int = 100, arr_words: int = 64) -> Module:
+    """Read-modify-write loop: *not* idempotent across naive re-execution,
+    so double-applied or lost regions show up immediately."""
+    b = IRBuilder("update_loop")
+    arr = b.module.alloc("arr", arr_words, init=list(range(arr_words)))
+    with b.function("kernel", params=["base", "n"]) as f:
+        acc = f.li(0)
+        with f.for_range(f.param(1)) as i:
+            idx = f.and_(i, arr_words - 1)
+            addr = f.add(f.param(0), f.shl(idx, 3))
+            v = f.load(addr)
+            f.store(f.add(v, f.mul(i, 3)), addr)
+            f.add(acc, v, dst=acc)
+        f.ret(acc)
+    with b.function("main") as f:
+        s = f.call("kernel", [arr, n_iters], returns=True)
+        f.store(s, arr)
+        f.ret(s)
+    verify_module(b.module)
+    return b.module
+
+
+def build_pointer_chase(depth: int = 30) -> Module:
+    """Linked-structure update with calls and branches."""
+    b = IRBuilder("chase")
+    nodes = b.module.alloc("nodes", 2 * depth)
+    # node i: [value, next_index]; chain 0 -> 1 -> ... -> depth-1 -> -1
+    init = []
+    for i in range(depth):
+        init += [i * 7, i + 1 if i + 1 < depth else -1]
+    b.module.initial_data.update(
+        {nodes + k * 8: v for k, v in enumerate(init)}
+    )
+    with b.function("bump", params=["base", "idx"]) as f:
+        addr = f.add(f.param(0), f.shl(f.mul(f.param(1), 2), 3))
+        v = f.load(addr)
+        f.store(f.add(v, 1), addr)
+        f.ret(f.load(addr, offset=8))  # next index
+    with b.function("main") as f:
+        idx = f.li(0)
+        with f.while_loop(lambda: f.cmp("sge", idx, 0)):
+            nxt = f.call("bump", [nodes, idx], returns=True)
+            f.move(idx, nxt)
+        f.ret(idx)
+    verify_module(b.module)
+    return b.module
+
+
+def compile_capri(module: Module, threshold: int = 32, config=None) -> Module:
+    cfg = config or OptConfig.licm(threshold)
+    return CapriCompiler(cfg).compile(module).module
+
+
+def reference_run(module: Module, func: str = "main", args=()) -> Tuple[int, dict]:
+    m = Machine(module)
+    rv = m.run_function(func, args)
+    return rv, data_memory(m)

@@ -1,0 +1,155 @@
+"""Tests for the cache models: hits/misses, LRU, writebacks, values."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.cache import DirectMappedCache, SetAssocCache
+
+
+def make_cache(lines=8, assoc=2, **kw):
+    wbs = []
+    c = SetAssocCache(
+        "t", num_lines=lines, assoc=assoc, writeback=lambda l, w: wbs.append((l, w)), **kw
+    )
+    return c, wbs
+
+
+class TestSetAssoc:
+    def test_miss_then_hit(self):
+        c, _ = make_cache()
+        assert not c.touch(0x100)
+        assert c.touch(0x100)
+        assert c.hits == 1 and c.misses == 1
+
+    def test_same_line_words_hit(self):
+        c, _ = make_cache()
+        c.touch(0x100)
+        assert c.touch(0x108)  # same 64B line
+        assert c.touch(0x138)
+
+    def test_different_lines_miss(self):
+        c, _ = make_cache()
+        c.touch(0x100)
+        assert not c.touch(0x140)
+
+    def test_lru_eviction(self):
+        c, _ = make_cache(lines=2, assoc=2)  # 1 set, 2 ways
+        c.touch(0x000)
+        c.touch(0x040)
+        c.touch(0x000)  # refresh LRU
+        c.touch(0x080)  # evicts 0x040
+        assert c.contains(0x000)
+        assert not c.contains(0x040)
+
+    def test_clean_eviction_no_writeback(self):
+        c, wbs = make_cache(lines=2, assoc=2)
+        c.touch(0x000)
+        c.touch(0x040)
+        c.touch(0x080)
+        assert wbs == []
+
+    def test_dirty_eviction_writes_back_dirty_words(self):
+        c, wbs = make_cache(lines=2, assoc=2)
+        c.write(0x000, 11)
+        c.write(0x008, 22)
+        c.touch(0x040)
+        c.touch(0x080)  # evicts line 0 (dirty)
+        assert wbs == [(0x000, {0x000: 11, 0x008: 22})]
+
+    def test_write_allocate(self):
+        c, _ = make_cache()
+        assert not c.write(0x200, 5)
+        assert c.contains(0x200)
+        assert c.write(0x208, 6)  # hit now
+
+    def test_install_writeback_merges(self):
+        c, wbs = make_cache(lines=2, assoc=2)
+        c.install_writeback(0x000, {0x000: 1})
+        c.install_writeback(0x000, {0x008: 2})
+        c.touch(0x040)
+        c.touch(0x080)
+        assert wbs == [(0x000, {0x000: 1, 0x008: 2})]
+
+    def test_evict_line_returns_dirty_words(self):
+        c, _ = make_cache()
+        c.write(0x100, 9)
+        words = c.evict_line(0x100)
+        assert words == {0x100: 9}
+        assert not c.contains(0x100)
+
+    def test_evict_line_absent_returns_none(self):
+        c, _ = make_cache()
+        assert c.evict_line(0x100) is None
+
+    def test_evict_clean_line_returns_empty(self):
+        c, _ = make_cache()
+        c.touch(0x100)
+        assert c.evict_line(0x100) == {}
+
+    def test_flush_all(self):
+        c, wbs = make_cache()
+        c.write(0x000, 1)
+        c.write(0x100, 2)
+        c.flush_all()
+        flushed = {addr: words for addr, words in wbs}
+        assert flushed == {0x000: {0x000: 1}, 0x100: {0x100: 2}}
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssocCache("t", num_lines=7, assoc=2)
+
+    @given(
+        addrs=st.lists(
+            st.integers(min_value=0, max_value=2**16).map(lambda a: a * 8),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_writeback_values_never_lost(self, addrs):
+        """Every written value is recoverable from cache + writebacks:
+        the union of dirty-in-cache and written-back words equals the
+        last-written value per address."""
+        sink = {}
+        c = SetAssocCache(
+            "t", num_lines=4, assoc=2, writeback=lambda l, w: sink.update(w)
+        )
+        expected = {}
+        for i, addr in enumerate(addrs):
+            c.write(addr, i)
+            expected[addr] = i
+        c.flush_all()
+        for addr, value in expected.items():
+            assert sink[addr] == value
+
+
+class TestDirectMapped:
+    def test_conflict_eviction(self):
+        wbs = []
+        c = DirectMappedCache("d", num_lines=4, writeback=lambda l, w: wbs.append((l, w)))
+        c.touch(0x000)
+        c.touch(0x100)  # maps to same slot (4 lines * 64B = 256B stride)
+        assert not c.contains(0x000)
+        assert c.contains(0x100)
+
+    def test_dirty_conflict_writes_back(self):
+        wbs = []
+        c = DirectMappedCache("d", num_lines=4, writeback=lambda l, w: wbs.append((l, w)))
+        c.install_writeback(0x000, {0x008: 77})
+        c.touch(0x100)
+        assert wbs == [(0x000, {0x008: 77})]
+
+    def test_hit_on_resident_line(self):
+        c = DirectMappedCache("d", num_lines=4)
+        c.touch(0x040)
+        assert c.touch(0x048)
+        assert c.hits == 1
+
+    def test_flush_all(self):
+        wbs = []
+        c = DirectMappedCache("d", num_lines=4, writeback=lambda l, w: wbs.append((l, w)))
+        c.install_writeback(0x000, {0x000: 1})
+        c.install_writeback(0x040, {0x040: 2})
+        c.flush_all()
+        assert len(wbs) == 2

@@ -1,0 +1,150 @@
+"""Repeated power failures: crash, recover, resume under Capri, crash
+again — whole-system persistence must survive any number of outages.
+
+The resumed runs execute under a fresh persistence engine seeded with the
+recovered durable image and PC checkpoints, so each subsequent failure
+exercises the full two-phase/undo+redo machinery again, not just the
+functional machine.
+"""
+
+import pytest
+from hypothesis import given, settings, HealthCheck
+from hypothesis import strategies as st
+
+from repro.arch import SimParams
+from repro.arch.crash import CrashInjector, CrashPlan, PowerFailure, run_until_crash
+from repro.arch.recovery import prepare_resumed_run, recover, resume_and_finish
+from repro.compiler import CapriCompiler, OptConfig
+from repro.isa import Machine
+
+from tests.arch.conftest import build_update_loop, compile_capri, data_memory
+
+
+def run_with_repeated_crashes(module, spawns, crash_points, params=None, threshold=32):
+    """Execute with a sequence of crash points; return the final machine.
+
+    ``crash_points[i]`` is the event index for the i-th outage, counted
+    within that leg of execution.  Legs after the first resume under a
+    fresh persistence engine.  Returns (machine, crashes_taken).
+    """
+    params = params or SimParams.scaled()
+    state = run_until_crash(
+        module, spawns, CrashPlan(crash_points[0]), params=params, threshold=threshold
+    )
+    if state is None:  # finished before the first crash
+        machine = Machine(module)
+        for fn, args in spawns:
+            machine.spawn(fn, args)
+        machine.run()
+        return machine, 0
+
+    crashes = 1
+    for at in crash_points[1:]:
+        recovered = recover(state, module)
+        machine, system = prepare_resumed_run(
+            recovered, module, spawns, params=params, threshold=threshold
+        )
+        injector = CrashInjector(system, CrashPlan(at))
+        try:
+            machine.run(injector)
+        except PowerFailure as pf:
+            state = pf.state
+            crashes += 1
+            continue
+        return machine, crashes  # finished this leg
+
+    # Final recovery: run to completion.
+    recovered = recover(state, module)
+    machine = resume_and_finish(recovered, module, spawns)
+    return machine, crashes
+
+
+class TestRepeatedCrashes:
+    def _reference(self, module, spawns):
+        machine = Machine(module)
+        for fn, args in spawns:
+            machine.spawn(fn, args)
+        machine.run()
+        return data_memory(machine)
+
+    def test_two_crashes(self):
+        module = compile_capri(build_update_loop(n_iters=60))
+        spawns = [("main", [])]
+        ref = self._reference(module, spawns)
+        machine, crashes = run_with_repeated_crashes(
+            module, spawns, [400, 300]
+        )
+        assert crashes == 2
+        assert data_memory(machine) == ref
+
+    def test_five_crashes(self):
+        module = compile_capri(build_update_loop(n_iters=80))
+        spawns = [("main", [])]
+        ref = self._reference(module, spawns)
+        machine, crashes = run_with_repeated_crashes(
+            module, spawns, [500, 200, 350, 150, 275]
+        )
+        assert crashes >= 2
+        assert data_memory(machine) == ref
+
+    def test_immediate_re_crash(self):
+        """The second outage hits almost immediately after resume — the
+        durable PC checkpoint must carry the resume point across."""
+        module = compile_capri(build_update_loop(n_iters=50))
+        spawns = [("main", [])]
+        ref = self._reference(module, spawns)
+        machine, crashes = run_with_repeated_crashes(
+            module, spawns, [600, 1, 1, 1]
+        )
+        assert crashes >= 2
+        assert data_memory(machine) == ref
+
+    def test_crashes_with_tiny_caches(self):
+        tiny = SimParams.scaled().with_(
+            l1_size_bytes=512, l2_size_bytes=1024, dram_cache_size_bytes=1024
+        )
+        module = compile_capri(build_update_loop(n_iters=120, arr_words=256))
+        spawns = [("main", [])]
+        ref = self._reference(module, spawns)
+        machine, crashes = run_with_repeated_crashes(
+            module, spawns, [700, 450, 300], params=tiny
+        )
+        assert crashes >= 2
+        assert data_memory(machine) == ref
+
+    @given(
+        points=st.lists(
+            st.integers(min_value=1, max_value=900), min_size=2, max_size=4
+        )
+    )
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_random_crash_sequences(self, points):
+        module = compile_capri(build_update_loop(n_iters=50))
+        spawns = [("main", [])]
+        ref = self._reference(module, spawns)
+        machine, _ = run_with_repeated_crashes(module, spawns, points)
+        assert data_memory(machine) == ref
+
+    def test_multicore_repeated_crashes(self):
+        from repro.ir import IRBuilder, verify_module
+
+        b = IRBuilder("mc")
+        arr = b.module.alloc("arr", 128)
+        with b.function("worker", params=["base", "n"]) as f:
+            with f.for_range(f.param(1)) as i:
+                idx = f.and_(i, 63)
+                addr = f.add(f.param(0), f.shl(idx, 3))
+                f.store(f.add(f.load(addr), 1), addr)
+            f.ret()
+        verify_module(b.module)
+        module = compile_capri(b.module)
+        spawns = [("worker", [arr, 40]), ("worker", [arr + 64 * 8, 40])]
+        ref = self._reference(module, spawns)
+        machine, crashes = run_with_repeated_crashes(
+            module, spawns, [500, 300]
+        )
+        assert data_memory(machine) == ref

@@ -1,0 +1,204 @@
+"""Stale-read prevention and persist-order handling (paper Section 5.3).
+
+Directed reconstructions of the Figure 6/7 scenarios at the pipeline
+level, plus system-level checks that workloads forcing regular-path
+writebacks never observe stale NVM data when prevention is on.
+"""
+
+import pytest
+
+from repro.arch.nvm import NVMain
+from repro.arch.params import SimParams
+from repro.arch.persistence import PersistenceEngine
+from repro.arch import SimParams as SP
+from repro.arch.system import run_workload
+from repro.compiler import OptConfig
+
+from tests.arch.conftest import build_update_loop, compile_capri
+
+
+def make_engine(threshold=16, prevention=True):
+    params = SimParams.scaled().with_(stale_read_prevention=prevention)
+    nvm = NVMain(params)
+    return PersistenceEngine(params, nvm, num_cores=1, threshold=threshold), nvm
+
+
+ADDR = 0x1000
+
+
+class TestFigure6Scenarios:
+    """Two regions store A=10 then A=20; a merged writeback carries A=20."""
+
+    def _two_regions(self, engine):
+        engine.on_store(0, 0.0, ADDR, 10, 0)  # region 1: A=10 (undo 0)
+        engine.on_boundary(0, 0.0, 1, "c1")
+        engine.on_store(0, 0.0, ADDR, 20, 10)  # region 2: A=20 (undo 10)
+        engine.on_boundary(0, 0.0, 2, "c2")
+
+    def test_normal_order_proxy_then_writeback(self):
+        """Order (1)(2)(3): proxy drains first, writeback last — NVM ends
+        at the latest value; no stale read possible."""
+        engine, nvm = make_engine()
+        self._two_regions(engine)
+        engine.advance_all(1e9)  # both regions drain: A=20
+        assert nvm.peek(ADDR) == 20
+        engine.on_nvm_writeback(1e9, ADDR - ADDR % 64, {ADDR: 20})
+        assert nvm.peek(ADDR) == 20
+        assert engine.check_nvm_read(1e9, ADDR, architectural=20) == 20
+        assert engine.stale_reads == 0
+
+    def test_early_writeback_invalidates_pending_redo(self):
+        """Order (3)(1)(2): the writeback lands before either region
+        drains; with prevention the delayed redo copies are skipped, so
+        NVM keeps the newest value (no stale read)."""
+        engine, nvm = make_engine()
+        self._two_regions(engine)
+        # Writeback arrives first (time 0), before any drain.
+        engine.on_nvm_writeback(0.0, ADDR - ADDR % 64, {ADDR: 20})
+        assert nvm.peek(ADDR) == 20
+        engine.advance_all(1e9)  # drains skip invalidated entries
+        assert nvm.peek(ADDR) == 20
+        assert nvm.writes_skipped == 2
+        assert engine.check_nvm_read(1e9, ADDR, architectural=20) == 20
+        assert engine.stale_reads == 0
+
+    def test_without_prevention_stale_read_happens(self):
+        """Same (3)(1)(2) order with prevention disabled: the delayed
+        region-1 redo overwrites the newer writeback -> stale NVM."""
+        engine, nvm = make_engine(prevention=False)
+        engine.on_store(0, 0.0, ADDR, 10, 0)
+        engine.on_boundary(0, 0.0, 1, "c1")
+        engine.on_store(0, 0.0, ADDR, 20, 10)
+        # Writeback of the merged cache line arrives before region 1 drains.
+        engine.on_nvm_writeback(0.0, ADDR - ADDR % 64, {ADDR: 20})
+        engine.advance_all(1e9)  # region 1 redo A=10 overwrites A=20
+        assert nvm.peek(ADDR) == 10  # stale!
+        assert engine.check_nvm_read(1e9, ADDR, architectural=20) == 10
+        assert engine.stale_reads == 1
+
+    def test_interleaved_order_writeback_between_drains(self):
+        """Order (1)(3)(2): region 1 drains, writeback lands, region 2's
+        redo is invalidated — the last copy is skipped, saving NVM
+        bandwidth (the paper's first scenario)."""
+        engine, nvm = make_engine()
+        engine.on_store(0, 0.0, ADDR, 10, 0)
+        engine.on_boundary(0, 0.0, 1, "c1")
+        engine.advance_all(1e9)  # region 1 drains: A=10
+        assert nvm.peek(ADDR) == 10
+        engine.on_store(0, 1e9, ADDR, 20, 10)
+        engine.on_nvm_writeback(1e9, ADDR - ADDR % 64, {ADDR: 20})
+        assert nvm.peek(ADDR) == 20
+        engine.on_boundary(0, 1e9, 2, "c2")
+        engine.advance_all(2e9)
+        assert nvm.peek(ADDR) == 20  # redo skipped, not rewritten to 20
+        assert nvm.writes_skipped == 1
+        assert engine.stale_reads == 0
+
+
+class TestFigure7Recovery:
+    """Cache writeback + crash: undo data restores region-boundary state."""
+
+    def test_writeback_of_uncommitted_data_rolled_back(self):
+        """Figure 7 exactly: region 1 (A=10, B=3) completes both phases;
+        region 2 (A=20) is interrupted mid-phase-1 after its A=20 reached
+        NVM via cache writeback.  Recovery must roll A back to 10."""
+        from repro.arch.crash import CrashState
+        from repro.arch.recovery import recover
+        from repro.ir.module import Module
+
+        engine, nvm = make_engine()
+        B = ADDR + 8
+        engine.on_store(0, 0.0, ADDR, 10, 0)
+        engine.on_store(0, 0.0, B, 3, 2)
+        engine.on_boundary(0, 0.0, 1, None)
+        engine.advance_all(1e9)  # region 1 fully durable
+        assert nvm.peek(ADDR) == 10 and nvm.peek(B) == 3
+        # Region 2 starts: store A=20; the dirty line reaches NVM through
+        # the regular path before the region commits.
+        engine.on_store(0, 1e9, ADDR, 20, 10)
+        engine.on_nvm_writeback(1e9, ADDR - ADDR % 64, {ADDR: 20})
+        assert nvm.peek(ADDR) == 20  # uncommitted data visible in NVM
+        # Power failure now.
+        entries = engine.pipelines[0].entries_in_order()
+        state = CrashState(
+            nvm_image=dict(nvm.image),
+            core_entries=[list(entries)],
+            num_cores=1,
+            pc_checkpoints=dict(nvm.pc_checkpoints),
+        )
+        rec = recover(state, Module("empty"))
+        # A rolled back to 10 (end of region 1) via the undo value.
+        assert rec.nvm_image[ADDR] == 10
+        assert rec.nvm_image[B] == 3
+        assert rec.regions_rolled_back == 1
+
+    def test_committed_region_with_invalidated_redo_survives(self):
+        """Committed region whose redo was invalidated: the writeback value
+        stands; recovery must not lose it."""
+        from repro.arch.crash import CrashState
+        from repro.arch.recovery import recover
+        from repro.ir.module import Module
+
+        engine, nvm = make_engine()
+        engine.on_store(0, 0.0, ADDR, 10, 0)
+        engine.on_boundary(0, 0.0, 1, None)
+        # Writeback of region 1's own value before its phase 2.
+        engine.on_nvm_writeback(0.0, ADDR - ADDR % 64, {ADDR: 10})
+        entries = engine.pipelines[0].entries_in_order()
+        state = CrashState(
+            nvm_image=dict(nvm.image),
+            core_entries=[list(entries)],
+            num_cores=1,
+            pc_checkpoints=dict(nvm.pc_checkpoints),
+        )
+        rec = recover(state, Module("empty"))
+        assert rec.nvm_image[ADDR] == 10
+
+
+class TestSystemLevelStaleReads:
+    """Whole-stack runs with a tiny hierarchy to force regular-path
+    writebacks racing the proxy path."""
+
+    def _tiny_params(self, prevention=True):
+        # Small caches: evictions reach NVM constantly.
+        return SP.scaled().with_(
+            l1_size_bytes=512,
+            l2_size_bytes=1024,
+            dram_cache_size_bytes=1024,
+            stale_read_prevention=prevention,
+        )
+
+    def test_no_stale_reads_with_prevention(self):
+        module = compile_capri(build_update_loop(n_iters=150, arr_words=256))
+        metrics, _ = run_workload(
+            module,
+            [("main", [])],
+            params=self._tiny_params(True),
+            threshold=32,
+        )
+        assert metrics.nvm_writes_writeback > 0, "no writebacks: test is vacuous"
+        assert metrics.stale_reads == 0
+
+    def test_invalidation_counters_active(self):
+        module = compile_capri(build_update_loop(n_iters=150, arr_words=256))
+        metrics, _ = run_workload(
+            module,
+            [("main", [])],
+            params=self._tiny_params(True),
+            threshold=32,
+        )
+        assert metrics.invalidations >= 0
+        assert metrics.nvm_writes_skipped == metrics.nvm_writes_skipped
+
+    def test_loads_never_slowed_by_persistence(self):
+        """Indirect-read freedom (Section 5.1.1): load latencies are
+        identical with and without the persistence engine."""
+        module = compile_capri(build_update_loop(n_iters=100, arr_words=128))
+        params = self._tiny_params(True)
+        with_p, _ = run_workload(module, [("main", [])], params=params, threshold=32)
+        without_p, _ = run_workload(
+            module, [("main", [])], params=params, threshold=32, persistence=False
+        )
+        # Same program, same hierarchy: identical hit/miss profile.
+        assert with_p.l1_hits == without_p.l1_hits
+        assert with_p.nvm_fills == without_p.nvm_fills

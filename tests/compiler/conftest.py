@@ -1,0 +1,150 @@
+"""Shared fixtures: example kernels and a random structured-program generator.
+
+The random generator builds small but control-flow-rich programs through
+the public IRBuilder API (nested loops, branches, calls, stores), used for
+semantics-preservation property tests: every compiler configuration must
+compute exactly what the uninstrumented program computes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+import pytest
+
+from repro.ir import IRBuilder, verify_module
+from repro.ir.module import Module
+from repro.isa import Machine
+
+
+def build_loop_kernel(n: int = 50, threshold_data: int = 64) -> Tuple[Module, int]:
+    """A store-heavy loop kernel over an array; returns (module, array base)."""
+    b = IRBuilder("loop_kernel")
+    arr = b.module.alloc("arr", max(n, 1))
+    with b.function("kernel", params=["base", "n"]) as f:
+        acc = f.li(0)
+        with f.for_range(f.param(1)) as i:
+            addr = f.add(f.param(0), f.shl(i, 3))
+            v = f.load(addr)
+            f.store(f.add(v, i), addr)
+            f.add(acc, v, dst=acc)
+        f.ret(acc)
+    with b.function("main") as f:
+        s = f.call("kernel", [arr, n], returns=True)
+        f.ret(s)
+    verify_module(b.module)
+    return b.module, arr
+
+
+def build_branchy_kernel() -> Module:
+    """Kernel with reconstructible values (pruning fodder, cf. Figure 3)."""
+    b = IRBuilder("branchy")
+    out = b.module.alloc("out", 8)
+    with b.function("main", params=["x"]) as f:
+        r1 = f.add(f.param(0), 10)
+        r3 = f.mul(f.param(0), 3)
+        r2 = f.add(r1, r3)  # reconstructible from r1 and r3
+        with f.for_range(8) as i:
+            f.store(f.add(r2, i), f.add(out, f.shl(i, 3)))
+        f.ret(f.add(r2, r1))
+    verify_module(b.module)
+    return b.module
+
+
+def random_program(seed: int, max_funcs: int = 3) -> Tuple[Module, List[int]]:
+    """Generate a random structured program; returns (module, arg list).
+
+    The program is deterministic given the seed, always terminates (loops
+    are bounded counted loops), and touches memory through a shared array
+    so that stores and loads are exercised.
+    """
+    rng = random.Random(seed)
+    b = IRBuilder(f"rand{seed}")
+    arr_words = 64
+    arr = b.module.alloc("arr", arr_words, init=[rng.randrange(100) for _ in range(arr_words)])
+
+    n_helpers = rng.randrange(0, max_funcs)
+    helper_names = []
+    for h in range(n_helpers):
+        name = f"helper{h}"
+        with b.function(name, params=["a", "b"]) as f:
+            x = f.binop(rng.choice(["add", "sub", "mul", "xor"]), f.param(0), f.param(1))
+            if rng.random() < 0.5:
+                with f.if_then(f.cmp("sgt", x, 0)):
+                    idx = f.and_(x, arr_words - 1)
+                    f.store(x, f.add(arr, f.shl(idx, 3)))
+            f.ret(x)
+        helper_names.append(name)
+
+    def emit_body(f, depth: int, vars_: List) -> None:
+        for _ in range(rng.randrange(1, 5)):
+            choice = rng.random()
+            if choice < 0.35:  # arithmetic
+                op = rng.choice(["add", "sub", "mul", "and", "or", "xor", "min", "max"])
+                a = rng.choice(vars_)
+                bb = rng.choice(vars_ + [rng.randrange(1, 16)])
+                vars_.append(f.binop(op, a, bb))
+            elif choice < 0.5:  # memory
+                idx = f.and_(rng.choice(vars_), arr_words - 1)
+                addr = f.add(arr, f.shl(idx, 3))
+                if rng.random() < 0.5:
+                    vars_.append(f.load(addr))
+                else:
+                    f.store(rng.choice(vars_), addr)
+            elif choice < 0.65 and depth < 2:  # counted loop
+                trip = rng.randrange(1, 8)
+                with f.for_range(trip):
+                    emit_body(f, depth + 1, vars_)
+            elif choice < 0.8 and depth < 3:  # branch
+                cond = f.cmp(
+                    rng.choice(["slt", "sgt", "seq", "sne"]),
+                    rng.choice(vars_),
+                    rng.randrange(0, 50),
+                )
+                with f.if_else(cond) as handle:
+                    emit_body(f, depth + 1, list(vars_))
+                    if rng.random() < 0.7:
+                        handle.otherwise()
+                        emit_body(f, depth + 1, list(vars_))
+            elif helper_names:  # call
+                callee = rng.choice(helper_names)
+                vars_.append(
+                    f.call(callee, [rng.choice(vars_), rng.choice(vars_)], returns=True)
+                )
+
+    with b.function("main", params=["a0", "a1"]) as f:
+        vars_ = [f.param(0), f.param(1), f.li(rng.randrange(100))]
+        emit_body(f, 0, vars_)
+        # Fold everything into a single result so all paths matter.
+        result = vars_[0]
+        for v in vars_[1:]:
+            result = f.xor(result, v)
+        # Also hash the array contents into the result.
+        with f.for_range(arr_words) as i:
+            v = f.load(f.add(arr, f.shl(i, 3)))
+            result = f.xor(f.mul(result, 31), v)
+        f.ret(result)
+    verify_module(b.module)
+    args = [rng.randrange(0, 100), rng.randrange(0, 100)]
+    return b.module, args
+
+
+def run_main(module: Module, args=()) -> Tuple[int, dict]:
+    """Run ``main`` to completion; return (result, final data memory)."""
+    m = Machine(module)
+    rv = m.run_function("main", args)
+    from repro.ir.module import is_ckpt_addr
+
+    data = {a: v for a, v in m.memory.items() if not is_ckpt_addr(a)}
+    return rv, data
+
+
+@pytest.fixture
+def loop_kernel():
+    return build_loop_kernel()
+
+
+@pytest.fixture
+def branchy_kernel():
+    return build_branchy_kernel()

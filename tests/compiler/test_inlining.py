@@ -1,0 +1,186 @@
+"""Tests for the small-function inlining extension."""
+
+import pytest
+
+from repro.compiler import CapriCompiler, OptConfig
+from repro.compiler.clone import clone_module
+from repro.compiler.inlining import inline_small_functions
+from repro.ir import IRBuilder, verify_module
+from repro.ir.instructions import Call
+from repro.isa import CountingObserver, Machine
+
+from tests.compiler.conftest import run_main
+
+
+def call_count(module):
+    return sum(
+        isinstance(i, Call)
+        for f in module.functions.values()
+        for i in f.instructions()
+    )
+
+
+class TestInlineSmallFunctions:
+    def _module(self):
+        b = IRBuilder("m")
+        out = b.module.alloc("out", 8)
+        with b.function("leaf", params=["x"]) as f:
+            with f.if_else(f.cmp("sgt", f.param(0), 10)) as h:
+                f.store(f.param(0), out)
+                h.otherwise()
+                f.store(0, out, offset=8)
+            f.ret(f.mul(f.param(0), 2))
+        with b.function("main", params=["n"]) as f:
+            acc = f.li(0)
+            with f.for_range(f.param(0)) as i:
+                r = f.call("leaf", [i], returns=True)
+                f.add(acc, r, dst=acc)
+            f.ret(acc)
+        verify_module(b.module)
+        return b.module
+
+    def test_inlines_leaf_call(self):
+        module = clone_module(self._module())
+        assert call_count(module) == 1
+        inlined = inline_small_functions(module)
+        assert inlined == 1
+        assert call_count(module) == 0
+        verify_module(module)
+
+    def test_semantics_preserved(self):
+        module = self._module()
+        rv0, d0 = run_main(module, [25])
+        inlined = clone_module(module)
+        inline_small_functions(inlined)
+        rv1, d1 = run_main(inlined, [25])
+        assert (rv0, d0) == (rv1, d1)
+
+    def test_void_callee(self):
+        b = IRBuilder("m")
+        out = b.module.alloc("out", 2)
+        with b.function("bump", params=["addr"]) as f:
+            f.store(f.add(f.load(f.param(0)), 1), f.param(0))
+            f.ret()
+        with b.function("main") as f:
+            f.call("bump", [out])
+            f.call("bump", [out])
+            f.ret(f.load(out))
+        verify_module(b.module)
+        rv0, d0 = run_main(b.module)
+        inlined = clone_module(b.module)
+        assert inline_small_functions(inlined) == 2
+        rv1, d1 = run_main(inlined)
+        assert (rv0, d0) == (rv1, d1)
+        assert rv1 == 2
+
+    def test_recursive_callee_not_inlined(self):
+        b = IRBuilder("m")
+        with b.function("fib", params=["n"]) as f:
+            with f.if_then(f.cmp("sle", f.param(0), 1)):
+                f.ret(f.param(0))
+            a = f.call("fib", [f.sub(f.param(0), 1)], returns=True)
+            c = f.call("fib", [f.sub(f.param(0), 2)], returns=True)
+            f.ret(f.add(a, c))
+        with b.function("main") as f:
+            f.ret(f.call("fib", [10], returns=True))
+        verify_module(b.module)
+        inlined = clone_module(b.module)
+        # fib calls itself -> not a leaf -> nothing inlinable anywhere.
+        assert inline_small_functions(inlined) == 0
+        rv, _ = run_main(inlined)
+        assert rv == 55
+
+    def test_large_callee_not_inlined(self):
+        b = IRBuilder("m")
+        with b.function("big", params=["x"]) as f:
+            t = f.param(0)
+            for _ in range(60):
+                t = f.add(t, 1)
+            f.ret(t)
+        with b.function("main") as f:
+            f.ret(f.call("big", [1], returns=True))
+        verify_module(b.module)
+        inlined = clone_module(b.module)
+        assert inline_small_functions(inlined, max_callee_instrs=32) == 0
+
+    def test_nested_callers_inline_independently(self):
+        b = IRBuilder("m")
+        with b.function("leaf", params=["x"]) as f:
+            f.ret(f.add(f.param(0), 1))
+        with b.function("mid", params=["x"]) as f:
+            r = f.call("leaf", [f.param(0)], returns=True)
+            f.ret(f.mul(r, 2))
+        with b.function("main") as f:
+            a = f.call("mid", [5], returns=True)
+            c = f.call("leaf", [a], returns=True)
+            f.ret(c)
+        verify_module(b.module)
+        rv0, _ = run_main(b.module)
+        inlined = clone_module(b.module)
+        n = inline_small_functions(inlined)
+        # leaf into mid, leaf into main, and (mid now leaf-free but has no
+        # calls left) mid into main on the next sweep.
+        assert n >= 2
+        rv1, _ = run_main(inlined)
+        assert rv0 == rv1 == 13
+
+
+class TestInlinedConfig:
+    def test_reduces_boundary_events_for_call_dense_code(self):
+        from repro.workloads import get_workload
+
+        module, spawns = get_workload("oskernel").build(scale=0.3)
+
+        def boundaries(cfg):
+            out = CapriCompiler(cfg).compile(module).module
+            m = Machine(out)
+            obs = CountingObserver()
+            for fn, a in spawns:
+                m.spawn(fn, a)
+            m.run(obs)
+            return obs.boundaries
+
+        assert boundaries(OptConfig.inlined(256)) < boundaries(OptConfig.licm(256))
+
+    def test_inlined_config_preserves_results(self):
+        from repro.ir.module import is_ckpt_addr
+        from repro.workloads import get_workload
+
+        module, spawns = get_workload("oskernel").build(scale=0.3)
+
+        def run(mod):
+            m = Machine(mod)
+            for fn, a in spawns:
+                m.spawn(fn, a)
+            m.run()
+            return {a: v for a, v in m.memory.items() if not is_ckpt_addr(a)}
+
+        base = run(module)
+        inl = run(CapriCompiler(OptConfig.inlined(64)).compile(module).module)
+        assert base == inl
+
+    def test_crash_recovery_still_exact_with_inlining(self):
+        from repro.arch.crash import CrashPlan, run_until_crash
+        from repro.arch.recovery import recover, resume_and_finish
+        from repro.ir.module import is_ckpt_addr
+        from repro.workloads import get_workload
+
+        module, spawns = get_workload("oskernel").build(scale=0.2)
+        capri = CapriCompiler(OptConfig.inlined(32)).compile(module).module
+        ref = Machine(capri)
+        for fn, a in spawns:
+            ref.spawn(fn, a)
+        ref.run()
+        ref_data = {
+            a: v for a, v in ref.memory.items() if not is_ckpt_addr(a)
+        }
+        for at in [40, 400, 1200]:
+            state = run_until_crash(capri, spawns, CrashPlan(at), threshold=32)
+            if state is None:
+                continue
+            rec = recover(state, capri)
+            fin = resume_and_finish(rec, capri, spawns)
+            data = {
+                a: v for a, v in fin.memory.items() if not is_ckpt_addr(a)
+            }
+            assert data == ref_data, f"at={at}"

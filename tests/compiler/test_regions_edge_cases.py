@@ -1,0 +1,156 @@
+"""Edge cases of region formation: irreducible CFGs, unroll corner cases,
+multi-exit loops, break statements."""
+
+import pytest
+
+from repro.compiler import CapriCompiler, OptConfig, form_regions, speculative_unroll
+from repro.compiler.clone import clone_module
+from repro.compiler.regions import RegionFormationError, _check_acyclic_regions
+from repro.ir import CFG, IRBuilder, verify_module
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Branch, Jump, Move, Ret
+from repro.ir.values import Imm, Reg
+
+from tests.compiler.conftest import run_main
+
+
+def irreducible_function() -> Function:
+    """Two-entry cycle a <-> b — no natural-loop header covers it."""
+    f = Function("irr", num_regs=2)
+    e = f.new_block("entry")
+    e.append(Move(Reg(0), Imm(1)))
+    e.append(Branch(Reg(0), "a", "b"))
+    a = f.new_block("a")
+    a.append(Branch(Reg(1), "b", "out"))
+    bb = f.new_block("b")
+    bb.append(Branch(Reg(1), "a", "out"))
+    f.new_block("out").append(Ret())
+    return f
+
+
+class TestIrreducibleCFG:
+    def test_acyclic_check_detects_headerless_cycle(self):
+        func = irreducible_function()
+        cfg = CFG(func)
+        # Natural-loop detection finds no header covering the a<->b cycle
+        # when neither dominates the other, so with boundaries only at the
+        # entry the region subgraph is cyclic.
+        with pytest.raises(RegionFormationError, match="irreducible"):
+            _check_acyclic_regions(cfg, {"entry"})
+
+    def test_acyclic_check_passes_with_cycle_broken(self):
+        func = irreducible_function()
+        cfg = CFG(func)
+        _check_acyclic_regions(cfg, {"entry", "a"})  # boundary breaks it
+
+    def test_builder_programs_are_always_reducible(self):
+        # The structured builder cannot express irreducible flow; region
+        # formation therefore never raises for builder/workload programs.
+        from repro.workloads import all_workloads
+
+        for workload in all_workloads():
+            module, _ = workload.build(scale=0.05)
+            for func in clone_module(module).functions.values():
+                form_regions(func, threshold=64)
+
+
+class TestUnrollEdgeCases:
+    def test_loop_with_break_unrolls_correctly(self):
+        b = IRBuilder("m")
+        out = b.module.alloc("out", 2)
+        with b.function("main", params=["n", "limit"]) as f:
+            acc = f.li(0)
+            with f.while_loop(lambda: f.li(1)) as exit_label:
+                f.add(acc, 1, dst=acc)
+                f.store(acc, out)
+                with f.if_then(f.cmp("sge", acc, f.param(1))):
+                    f.jump(exit_label)
+                with f.if_then(f.cmp("sge", acc, f.param(0))):
+                    f.jump(exit_label)
+            f.ret(acc)
+        verify_module(b.module)
+        for args in ([10, 5], [3, 100], [1, 1]):
+            rv0, d0 = run_main(b.module, args)
+            out_mod = CapriCompiler(OptConfig.licm(64)).compile(b.module).module
+            rv1, d1 = run_main(out_mod, args)
+            assert (rv0, d0) == (rv1, d1), args
+
+    def test_zero_trip_loop_after_unroll(self):
+        b = IRBuilder("m")
+        arr = b.module.alloc("arr", 8)
+        with b.function("main", params=["n"]) as f:
+            with f.for_range(f.param(0)) as i:
+                f.store(i, f.add(arr, f.shl(f.and_(i, 7), 3)))
+            f.ret()
+        verify_module(b.module)
+        rv0, d0 = run_main(b.module, [0])
+        out = CapriCompiler(OptConfig.licm(256)).compile(b.module).module
+        rv1, d1 = run_main(out, [0])
+        assert (rv0, d0) == (rv1, d1)
+
+    def test_unroll_factor_one_is_noop(self):
+        b = IRBuilder("m")
+        arr = b.module.alloc("arr", 8)
+        with b.function("main", params=["n"]) as f:
+            with f.for_range(f.param(0)) as i:
+                for k in range(8):  # heavy body: budget forbids k>=2
+                    f.store(i, f.add(arr, f.shl(f.and_(i, 7), 3)), offset=0)
+            f.ret()
+        verify_module(b.module)
+        cloned = clone_module(b.module)
+        func = cloned.function("main")
+        before = func.num_instrs
+        unrolled = speculative_unroll(func, threshold=8, max_unroll=32)
+        assert unrolled == 0
+        assert func.num_instrs == before
+
+    def test_multi_block_loop_body_unrolls(self):
+        b = IRBuilder("m")
+        arr = b.module.alloc("arr", 16)
+        with b.function("main", params=["n"]) as f:
+            acc = f.li(0)
+            with f.for_range(f.param(0)) as i:
+                with f.if_else(f.cmp("seq", f.and_(i, 1), 0)) as h:
+                    f.store(i, f.add(arr, f.shl(f.and_(i, 15), 3)))
+                    h.otherwise()
+                    f.add(acc, i, dst=acc)
+            f.ret(acc)
+        verify_module(b.module)
+        for n in [0, 1, 7, 20]:
+            rv0, d0 = run_main(b.module, [n])
+            out = CapriCompiler(OptConfig.licm(128)).compile(b.module).module
+            rv1, d1 = run_main(out, [n])
+            assert (rv0, d0) == (rv1, d1), n
+
+    def test_unrolled_region_budget_still_holds_dynamically(self):
+        from repro.isa import Machine, Observer
+
+        b = IRBuilder("m")
+        arr = b.module.alloc("arr", 64)
+        with b.function("main", params=["n"]) as f:
+            with f.for_range(f.param(0)) as i:
+                for k in range(3):
+                    f.store(i, f.add(arr, f.shl(f.and_(i, 63), 3)), offset=k % 2 * 8)
+            f.ret()
+        verify_module(b.module)
+        threshold = 16
+        out = CapriCompiler(OptConfig.licm(threshold)).compile(b.module).module
+
+        class MaxRun(Observer):
+            run = 0
+            max_run = 0
+
+            def on_store(self, core, addr, value, old):
+                self.run += 1
+                self.max_run = max(self.max_run, self.run)
+
+            def on_ckpt(self, core, reg, value, addr):
+                self.on_store(core, addr, value, 0)
+
+            def on_boundary(self, core, region_id, continuation):
+                self.run = 0
+
+        obs = MaxRun()
+        Machine(out).run_function("main", [40], observer=obs)
+        assert obs.max_run <= threshold

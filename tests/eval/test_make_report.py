@@ -1,0 +1,17 @@
+"""Test the one-shot report generator (tiny scale)."""
+
+import os
+
+
+def test_make_report(tmp_path):
+    from repro.eval.make_report import main
+
+    out = tmp_path / "REPORT.md"
+    rc = main(["--out", str(out), "--scale", "0.1"])
+    assert rc == 0
+    text = out.read_text()
+    for section in ["fig8", "fig9", "fig10", "fig11", "headline",
+                    "naive comparison", "recovery latency",
+                    "residual energy"]:
+        assert section in text, section
+    assert "overall_gmean" in text

@@ -1,0 +1,152 @@
+"""Tests for report rendering: geometric means and table layout."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.eval.report import add_suite_gmeans, format_table, geomean
+
+
+class TestGeomean:
+    def test_single_value(self):
+        assert geomean([2.0]) == pytest.approx(2.0)
+
+    def test_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_is_zero(self):
+        assert geomean([]) == 0.0
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geomean([-1.0])
+
+    @given(st.lists(st.floats(min_value=0.5, max_value=2.0), min_size=1, max_size=20))
+    def test_bounded_by_min_max(self, values):
+        g = geomean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.5, max_value=2.0), min_size=1, max_size=20))
+    def test_matches_log_definition(self, values):
+        expected = math.exp(sum(math.log(v) for v in values) / len(values))
+        assert geomean(values) == pytest.approx(expected)
+
+    def test_order_invariant(self):
+        assert geomean([1.1, 1.5, 0.9]) == pytest.approx(geomean([0.9, 1.1, 1.5]))
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        cells = {"a": {"x": 1.0, "y": 2.0}, "b": {"x": 3.0}}
+        text = format_table("T", ["a", "b"], ["x", "y"], cells)
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "benchmark" in lines[1]
+        assert "x" in lines[1] and "y" in lines[1]
+        assert "1.000" in text and "3.000" in text
+
+    def test_missing_cell_renders_dash(self):
+        cells = {"a": {"x": 1.0}}
+        text = format_table("T", ["a"], ["x", "y"], cells)
+        assert "-" in text.splitlines()[-1]
+
+    def test_custom_format(self):
+        cells = {"a": {"x": 12.345}}
+        text = format_table("T", ["a"], ["x"], cells, fmt="{:.1f}")
+        assert "12.3" in text
+        assert "12.345" not in text
+
+    def test_columns_aligned(self):
+        cells = {
+            "short": {"col": 1.0},
+            "a-much-longer-name": {"col": 2.0},
+        }
+        text = format_table("T", list(cells), ["col"], cells)
+        lines = text.splitlines()[1:]
+        assert len({len(l) for l in lines}) == 1  # all rows equal width
+
+
+class TestRenderBars:
+    def _cells(self):
+        return {"bench": {"32": 1.2, "256": 1.05}}
+
+    def test_bars_scale_with_values(self):
+        from repro.eval.report import render_bars
+
+        text = render_bars("T", ["bench"], ["32", "256"], self._cells())
+        lines = [l for l in text.splitlines() if "|" in l]
+        assert len(lines) == 2
+        big = lines[0].count("#")
+        small = lines[1].count("#")
+        assert big > small
+
+    def test_baseline_start(self):
+        from repro.eval.report import render_bars
+
+        # All values above 1.0: bars measure the overhead above baseline.
+        text = render_bars(
+            "T", ["bench"], ["32", "256"], self._cells(), baseline=1.0, width=10
+        )
+        # The 1.2 bar fills the full width, the 1.05 bar a quarter.
+        lines = [l for l in text.splitlines() if "|" in l]
+        assert lines[0].count("#") == 10
+        assert 1 <= lines[1].count("#") <= 4
+
+    def test_values_below_baseline_start_at_zero(self):
+        from repro.eval.report import render_bars
+
+        cells = {"b": {"x": 0.5, "y": 1.0}}
+        text = render_bars("T", ["b"], ["x", "y"], cells, baseline=1.0)
+        assert "0.500" in text  # rendered, not dropped
+
+    def test_missing_cells_skipped(self):
+        from repro.eval.report import render_bars
+
+        cells = {"b": {"x": 1.0}}
+        text = render_bars("T", ["b"], ["x", "y"], cells)
+        assert "y" not in [l.strip().split(" ")[0] for l in text.splitlines()]
+
+    def test_empty_cells(self):
+        from repro.eval.report import render_bars
+
+        assert render_bars("Title", [], [], {}) == "Title"
+
+    def test_chart_cli_integration(self, capsys):
+        from repro.eval.figures import main
+
+        rc = main(["fig9", "--scale", "0.1", "--suite", "cpu2017", "--chart"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "|" in out and "#" in out
+
+
+class TestSuiteGmeans:
+    def test_gmean_rows_inserted_in_paper_order(self):
+        cells = {
+            "a1": {"x": 1.0},
+            "a2": {"x": 4.0},
+            "b1": {"x": 2.0},
+        }
+        suites = {"sa": ["a1", "a2"], "sb": ["b1"]}
+        rows = add_suite_gmeans(cells, suites, ["x"])
+        assert rows == ["a1", "a2", "sa_gmean", "b1", "sb_gmean", "overall_gmean"]
+        assert cells["sa_gmean"]["x"] == pytest.approx(2.0)
+        assert cells["sb_gmean"]["x"] == pytest.approx(2.0)
+        assert cells["overall_gmean"]["x"] == pytest.approx(2.0)
+
+    def test_missing_suite_members_skipped(self):
+        cells = {"a1": {"x": 1.0}}
+        suites = {"sa": ["a1", "ghost"], "sb": ["also-ghost"]}
+        rows = add_suite_gmeans(cells, suites, ["x"])
+        assert "sb_gmean" not in rows
+        assert cells["sa_gmean"]["x"] == pytest.approx(1.0)
+
+    def test_overall_covers_all_suites(self):
+        cells = {"a": {"x": 1.0}, "b": {"x": 16.0}}
+        suites = {"sa": ["a"], "sb": ["b"]}
+        add_suite_gmeans(cells, suites, ["x"])
+        assert cells["overall_gmean"]["x"] == pytest.approx(4.0)

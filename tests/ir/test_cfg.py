@@ -1,0 +1,173 @@
+"""Tests for CFG construction, dominators, and natural-loop detection."""
+
+import pytest
+
+from repro.ir import CFG, DomTree, IRBuilder, natural_loops
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Branch, Jump, Move, Ret
+from repro.ir.values import Imm, Reg
+
+
+def diamond() -> Function:
+    """entry -> (left | right) -> exit."""
+    f = Function("diamond", num_regs=2)
+    e = f.new_block("entry")
+    e.append(Move(Reg(0), Imm(1)))
+    e.append(Branch(Reg(0), "left", "right"))
+    l = f.new_block("left")
+    l.append(Jump("exit"))
+    r = f.new_block("right")
+    r.append(Jump("exit"))
+    x = f.new_block("exit")
+    x.append(Ret())
+    return f
+
+
+def simple_loop() -> Function:
+    """entry -> header <-> body; header -> exit."""
+    f = Function("loop", num_regs=2)
+    f.new_block("entry").append(Jump("header"))
+    h = f.new_block("header")
+    h.append(Branch(Reg(0), "body", "exit"))
+    b = f.new_block("body")
+    b.append(Move(Reg(1), Imm(0)))
+    b.append(Jump("header"))
+    f.new_block("exit").append(Ret())
+    return f
+
+
+class TestCFG:
+    def test_diamond_succs_preds(self):
+        cfg = CFG(diamond())
+        assert cfg.succs["entry"] == ["left", "right"]
+        assert sorted(cfg.preds["exit"]) == ["left", "right"]
+        assert cfg.preds["entry"] == []
+
+    def test_rpo_starts_at_entry(self):
+        cfg = CFG(diamond())
+        assert cfg.rpo[0] == "entry"
+        assert cfg.rpo[-1] == "exit"
+
+    def test_rpo_visits_all_reachable(self):
+        cfg = CFG(diamond())
+        assert set(cfg.rpo) == {"entry", "left", "right", "exit"}
+
+    def test_unreachable_blocks_excluded_from_rpo(self):
+        f = diamond()
+        dead = f.new_block("dead")
+        dead.append(Jump("exit"))
+        cfg = CFG(f)
+        assert "dead" not in cfg.rpo
+        assert "dead" not in cfg.reachable
+
+    def test_unknown_branch_target_raises(self):
+        f = Function("bad", num_regs=1)
+        f.new_block("entry").append(Jump("nowhere"))
+        with pytest.raises(KeyError):
+            CFG(f)
+
+    def test_deep_chain_no_recursion_error(self):
+        f = Function("chain", num_regs=1)
+        n = 5000
+        for i in range(n):
+            blk = f.new_block(f"b{i}") if i else f.new_block("entry")
+            if i < n - 1:
+                blk.append(Jump(f"b{i + 1}"))
+            else:
+                blk.append(Ret())
+        cfg = CFG(f)
+        assert len(cfg.rpo) == n
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        cfg = CFG(diamond())
+        dom = DomTree(cfg)
+        for label in cfg.rpo:
+            assert dom.dominates("entry", label)
+
+    def test_diamond_idoms(self):
+        dom = DomTree(CFG(diamond()))
+        assert dom.idom["left"] == "entry"
+        assert dom.idom["right"] == "entry"
+        assert dom.idom["exit"] == "entry"
+        assert dom.idom["entry"] is None
+
+    def test_branches_do_not_dominate_join(self):
+        dom = DomTree(CFG(diamond()))
+        assert not dom.dominates("left", "exit")
+        assert not dom.dominates("right", "exit")
+
+    def test_reflexive(self):
+        dom = DomTree(CFG(diamond()))
+        assert dom.dominates("left", "left")
+
+    def test_loop_header_dominates_body(self):
+        dom = DomTree(CFG(simple_loop()))
+        assert dom.dominates("header", "body")
+        assert not dom.dominates("body", "header")
+
+
+class TestNaturalLoops:
+    def test_simple_loop_found(self):
+        cfg = CFG(simple_loop())
+        loops = natural_loops(cfg)
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.header == "header"
+        assert loop.body == {"header", "body"}
+        assert loop.latches == ("body",)
+
+    def test_loop_exits(self):
+        cfg = CFG(simple_loop())
+        loop = natural_loops(cfg)[0]
+        assert loop.exits(cfg) == [("header", "exit")]
+
+    def test_no_loops_in_diamond(self):
+        assert natural_loops(CFG(diamond())) == []
+
+    def test_nested_loops_via_builder(self):
+        b = IRBuilder("m")
+        with b.function("f", params=["n"]) as f:
+            with f.for_range(f.param(0)) as i:
+                with f.for_range(f.param(0)) as j:
+                    f.add(i, j)
+            f.ret()
+        loops = natural_loops(CFG(b.module.function("f")))
+        assert len(loops) == 2
+        outer = next(l for l in loops if l.depth == 1)
+        inner = next(l for l in loops if l.depth == 2)
+        assert inner.parent is outer
+        assert inner.body < outer.body
+
+    def test_self_loop(self):
+        f = Function("selfloop", num_regs=1)
+        f.new_block("entry").append(Jump("spin"))
+        s = f.new_block("spin")
+        s.append(Branch(Reg(0), "spin", "out"))
+        f.new_block("out").append(Ret())
+        loops = natural_loops(CFG(f))
+        assert len(loops) == 1
+        assert loops[0].body == {"spin"}
+        assert loops[0].latches == ("spin",)
+
+    def test_two_latches_merge_into_one_loop(self):
+        f = Function("twolatch", num_regs=1)
+        f.new_block("entry").append(Jump("h"))
+        h = f.new_block("h")
+        h.append(Branch(Reg(0), "a", "out"))
+        a = f.new_block("a")
+        a.append(Branch(Reg(0), "h", "b"))
+        bb = f.new_block("b")
+        bb.append(Jump("h"))
+        f.new_block("out").append(Ret())
+        loops = natural_loops(CFG(f))
+        assert len(loops) == 1
+        assert set(loops[0].latches) == {"a", "b"}
+        assert loops[0].body == {"h", "a", "b"}
+
+    def test_contains(self):
+        loop = natural_loops(CFG(simple_loop()))[0]
+        assert "body" in loop
+        assert "exit" not in loop

@@ -1,0 +1,226 @@
+"""Tests for the textual IR parser, including print/parse round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import IRBuilder, format_function, verify_function, verify_module
+from repro.ir.instructions import (
+    AtomicRMW,
+    BinOp,
+    Branch,
+    Call,
+    CheckpointStore,
+    Fence,
+    Halt,
+    Jump,
+    Load,
+    Move,
+    Nop,
+    RegionBoundary,
+    Ret,
+    Store,
+    UnOp,
+)
+from repro.ir.parser import (
+    ParseError,
+    parse_function,
+    parse_instruction,
+    parse_module,
+)
+from repro.ir.values import Imm, Reg
+
+
+class TestParseInstruction:
+    def test_binop(self):
+        i = parse_instruction("r1 = add r2, #3")
+        assert isinstance(i, BinOp)
+        assert (i.op, i.dst, i.lhs, i.rhs) == ("add", Reg(1), Reg(2), Imm(3))
+
+    def test_unop(self):
+        i = parse_instruction("r1 = neg r2")
+        assert isinstance(i, UnOp)
+        assert (i.op, i.dst, i.src) == ("neg", Reg(1), Reg(2))
+
+    def test_move_reg(self):
+        i = parse_instruction("r1 = r2")
+        assert isinstance(i, Move)
+
+    def test_move_imm_negative(self):
+        i = parse_instruction("r1 = #-5")
+        assert isinstance(i, Move)
+        assert i.src == Imm(-5)
+
+    def test_load(self):
+        i = parse_instruction("r1 = load [r2+16]")
+        assert isinstance(i, Load)
+        assert (i.dst, i.addr, i.offset) == (Reg(1), Reg(2), 16)
+
+    def test_load_negative_offset(self):
+        i = parse_instruction("r1 = load [r2-8]")
+        assert i.offset == -8
+
+    def test_store(self):
+        i = parse_instruction("store [r2+0] = r3")
+        assert isinstance(i, Store)
+        assert (i.value, i.addr, i.offset) == (Reg(3), Reg(2), 0)
+
+    def test_store_immediate_value(self):
+        i = parse_instruction("store [r2+0] = #7")
+        assert i.value == Imm(7)
+
+    def test_atomic(self):
+        i = parse_instruction("r1 = atomic_add [r2+0], #1")
+        assert isinstance(i, AtomicRMW)
+        assert (i.op, i.dst, i.value) == ("add", Reg(1), Imm(1))
+
+    def test_jump(self):
+        i = parse_instruction("jump loop.1")
+        assert isinstance(i, Jump)
+        assert i.target == "loop.1"
+
+    def test_branch(self):
+        i = parse_instruction("branch r1 ? a : b")
+        assert isinstance(i, Branch)
+        assert (i.cond, i.if_true, i.if_false) == (Reg(1), "a", "b")
+
+    def test_call_with_result(self):
+        i = parse_instruction("r1 = call f(r2, #3)")
+        assert isinstance(i, Call)
+        assert (i.callee, i.args, i.dst) == ("f", (Reg(2), Imm(3)), Reg(1))
+
+    def test_call_void_no_args(self):
+        i = parse_instruction("call f()")
+        assert isinstance(i, Call)
+        assert i.dst is None and i.args == ()
+
+    def test_ret_variants(self):
+        assert parse_instruction("ret").value is None
+        assert parse_instruction("ret r1").value == Reg(1)
+        assert parse_instruction("ret #42").value == Imm(42)
+
+    def test_misc(self):
+        assert isinstance(parse_instruction("nop"), Nop)
+        assert isinstance(parse_instruction("fence"), Fence)
+        assert isinstance(parse_instruction("halt"), Halt)
+
+    def test_capri_instructions(self):
+        b = parse_instruction("region_boundary #7")
+        assert isinstance(b, RegionBoundary) and b.region_id == 7
+        s = parse_instruction("region_boundary #-1")
+        assert s.region_id == -1
+        c = parse_instruction("ckpt r5")
+        assert isinstance(c, CheckpointStore) and c.src == Reg(5)
+
+    def test_errors(self):
+        for bad in [
+            "r1 = bogus r2, r3",
+            "r1 = load r2",
+            "store [r2+0]",
+            "branch r1 ? only_one",
+            "frobnicate",
+            "r1 = #notanumber",
+            "rX = add r1, r2",
+        ]:
+            with pytest.raises(ParseError):
+                parse_instruction(bad)
+
+
+class TestParseFunction:
+    SAMPLE = """
+    func count(params=1, regs=4):
+      entry:
+        r1 = #0
+        jump loop
+      loop:
+        r2 = slt r1, r0   ; loop while r1 < r0
+        branch r2 ? body : done
+      body:
+        r1 = add r1, #1
+        jump loop
+      done:
+        ret r1
+    """
+
+    def test_parses_and_verifies(self):
+        func = parse_function(self.SAMPLE)
+        verify_function(func)
+        assert func.name == "count"
+        assert list(func.blocks) == ["entry", "loop", "body", "done"]
+
+    def test_executes(self):
+        from repro.isa import Machine
+        from repro.ir.module import Module
+
+        module = Module()
+        module.add_function(parse_function(self.SAMPLE))
+        assert Machine(module).run_function("count", [17]) == 17
+
+    def test_comments_stripped(self):
+        func = parse_function(self.SAMPLE)
+        assert len(func.blocks["loop"].instrs) == 2
+
+    def test_instruction_before_label_rejected(self):
+        with pytest.raises(ParseError, match="before a label"):
+            parse_function("func f(params=0, regs=1):\n  ret")
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ParseError, match="func header"):
+            parse_function("entry:\n  ret")
+
+
+class TestRoundTrip:
+    def _roundtrip(self, func):
+        text = format_function(func)
+        parsed = parse_function(text)
+        assert format_function(parsed) == text
+
+    def test_builder_function_roundtrips(self):
+        b = IRBuilder("m")
+        arr = b.module.alloc("arr", 8)
+        with b.function("kernel", params=["base", "n"]) as f:
+            acc = f.li(0)
+            with f.for_range(f.param(1)) as i:
+                v = f.load(f.add(f.param(0), f.shl(i, 3)))
+                f.store(f.add(v, 1), f.add(f.param(0), f.shl(i, 3)))
+                f.add(acc, v, dst=acc)
+            f.ret(acc)
+        self._roundtrip(b.module.function("kernel"))
+
+    def test_instrumented_function_roundtrips(self):
+        from repro.compiler import CapriCompiler, OptConfig
+
+        b = IRBuilder("m")
+        arr = b.module.alloc("arr", 8)
+        with b.function("kernel", params=["base", "n"]) as f:
+            with f.for_range(f.param(1)) as i:
+                f.store(i, f.add(f.param(0), f.shl(f.and_(i, 7), 3)))
+            f.ret()
+        out = CapriCompiler(OptConfig.licm(16)).compile(b.module).module
+        self._roundtrip(out.function("kernel"))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_program_roundtrips(self, seed):
+        from tests.compiler.conftest import random_program
+
+        module, _ = random_program(seed)
+        for func in module.functions.values():
+            self._roundtrip(func)
+
+    def test_module_roundtrip_runs_identically(self):
+        from repro.ir.module import Module
+        from repro.isa import Machine
+        from tests.compiler.conftest import random_program
+
+        module, args = random_program(7)
+        rv1 = Machine(module).run_function("main", args)
+
+        text = "\n\n".join(
+            format_function(f) for f in module.functions.values()
+        )
+        reparsed = parse_module(text)
+        # Rebuild the data segment (not expressed in text).
+        reparsed.initial_data = dict(module.initial_data)
+        verify_module(reparsed)
+        rv2 = Machine(reparsed).run_function("main", args)
+        assert rv1 == rv2

@@ -1,0 +1,83 @@
+"""Tests for operand value types and word arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.values import Imm, Reg, as_operand, wrap_word, WORD_BITS
+
+
+class TestWrapWord:
+    def test_identity_in_range(self):
+        assert wrap_word(42) == 42
+        assert wrap_word(-42) == -42
+
+    def test_wraps_positive_overflow(self):
+        assert wrap_word(2**63) == -(2**63)
+
+    def test_wraps_negative_overflow(self):
+        assert wrap_word(-(2**63) - 1) == 2**63 - 1
+
+    def test_extremes(self):
+        assert wrap_word(2**63 - 1) == 2**63 - 1
+        assert wrap_word(-(2**63)) == -(2**63)
+
+    @given(st.integers())
+    def test_always_in_word_range(self, v):
+        w = wrap_word(v)
+        assert -(2**63) <= w < 2**63
+
+    @given(st.integers())
+    def test_idempotent(self, v):
+        assert wrap_word(wrap_word(v)) == wrap_word(v)
+
+    @given(st.integers(), st.integers())
+    def test_addition_congruence(self, a, b):
+        assert wrap_word(wrap_word(a) + wrap_word(b)) == wrap_word(a + b)
+
+
+class TestReg:
+    def test_repr(self):
+        assert repr(Reg(3)) == "r3"
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            Reg(-1)
+
+    def test_hashable_and_equal(self):
+        assert Reg(2) == Reg(2)
+        assert len({Reg(1), Reg(1), Reg(2)}) == 2
+
+
+class TestImm:
+    def test_repr(self):
+        assert repr(Imm(5)) == "#5"
+
+    def test_wraps_on_construction(self):
+        assert Imm(2**63).value == -(2**63)
+
+    def test_equality(self):
+        assert Imm(7) == Imm(7)
+        assert Imm(7) != Imm(8)
+
+
+class TestAsOperand:
+    def test_int_becomes_imm(self):
+        assert as_operand(9) == Imm(9)
+
+    def test_bool_becomes_imm(self):
+        assert as_operand(True) == Imm(1)
+
+    def test_reg_passthrough(self):
+        r = Reg(4)
+        assert as_operand(r) is r
+
+    def test_imm_passthrough(self):
+        i = Imm(1)
+        assert as_operand(i) is i
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            as_operand("r1")
+        with pytest.raises(TypeError):
+            as_operand(1.5)

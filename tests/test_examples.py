@@ -1,0 +1,46 @@
+"""Smoke tests: every example script runs to completion and self-asserts.
+
+Examples are executable documentation; each already asserts its own
+correctness claims (exact recovery, delivery completeness), so running
+them is a meaningful end-to-end test of the public API.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name, *args, timeout=300):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env={**os.environ, "PYTHONPATH": os.path.join(EXAMPLES, "..", "src")},
+    )
+
+
+@pytest.mark.parametrize(
+    "script,args,expect",
+    [
+        ("quickstart.py", [], "matches crash-free run exactly: True"),
+        ("compiler_explorer.py", ["--threshold", "64"], "rebuild r"),
+        ("threshold_sweep.py", ["--scale", "0.25"], "sweet"),
+        ("stale_read_demo.py", [], "STALE!"),
+        ("persistent_logger.py", [], "At-least-once delivery"),
+        ("kv_store.py", [], "crash-consistent under Capri"),
+        (
+            "crash_recovery_tour.py",
+            ["--step", "1499", "--workload", "ssca2"],
+            "recovered to the exact crash-free state",
+        ),
+    ],
+)
+def test_example_runs(script, args, expect):
+    result = run_example(script, *args)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert expect in result.stdout, result.stdout[-2000:]
