@@ -19,24 +19,52 @@ machine's event stream:
   baseline) as machine observers,
 * :mod:`repro.arch.crash` — power-failure injection and non-volatile
   state capture,
-* :mod:`repro.arch.recovery` — the Section 5.4 recovery protocol.
+* :mod:`repro.arch.recovery` — the Section 5.4 recovery protocol, with
+  integrity verification and strict/lenient fault handling
+  (docs/INTERNALS.md §5).
 """
 
 from repro.arch.params import SimParams, PersistMode
-from repro.arch.system import CapriSystem, SystemMetrics, run_workload
-from repro.arch.crash import CrashPlan, CrashState, CrashInjector, PowerFailure
-from repro.arch.recovery import RecoveredState, recover, resume_and_finish
+from repro.arch.system import CapriSystem, SystemMetrics, build_system, run_workload
+from repro.arch.crash import (
+    CrashPlan,
+    CrashState,
+    CrashInjector,
+    PowerFailure,
+    run_until_crash,
+    run_until_crash_with_machine,
+)
+from repro.arch.recovery import (
+    CheckpointMismatchError,
+    OrphanedBoundaryError,
+    RecoveredState,
+    RecoveryError,
+    RecoveryReport,
+    TornEntryError,
+    WpqCorruptionError,
+    recover,
+    resume_and_finish,
+)
 
 __all__ = [
     "SimParams",
     "PersistMode",
     "CapriSystem",
     "SystemMetrics",
+    "build_system",
     "run_workload",
     "CrashPlan",
     "CrashState",
     "CrashInjector",
     "PowerFailure",
+    "run_until_crash",
+    "run_until_crash_with_machine",
+    "RecoveryError",
+    "TornEntryError",
+    "CheckpointMismatchError",
+    "OrphanedBoundaryError",
+    "WpqCorruptionError",
+    "RecoveryReport",
     "RecoveredState",
     "recover",
     "resume_and_finish",

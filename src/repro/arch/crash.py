@@ -19,12 +19,12 @@ Volatile state — register files, L1/L2, the DRAM cache, and the
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.arch.nvm import WpqRecord
 from repro.arch.proxy import ProxyEntry
-from repro.arch.system import CapriSystem
+from repro.arch.system import CapriSystem, build_system
 from repro.ir.module import Module
 from repro.isa.machine import Machine
 from repro.isa.trace import Observer
@@ -59,23 +59,48 @@ class CrashState:
     num_cores: int
     #: durable per-core PC checkpoints: core -> (continuation, region_id).
     pc_checkpoints: Dict[int, tuple] = field(default_factory=dict)
+    #: surviving write-pending-queue journal, oldest first (the WPQ is in
+    #: the persistent domain — recovery replays it to heal a partially
+    #: drained array; see repro.fault.models).
+    wpq: List[WpqRecord] = field(default_factory=list)
+    #: per-slot integrity words of the register-checkpoint array.
+    ckpt_shadow: Dict[int, int] = field(default_factory=dict)
+
+    def clone(self) -> "CrashState":
+        """Independent deep copy — fault models mutate clones, never the
+        captured snapshot, so one capture can seed many injections."""
+        return CrashState(
+            nvm_image=dict(self.nvm_image),
+            core_entries=[
+                [e.clone() for e in entries] for entries in self.core_entries
+            ],
+            num_cores=self.num_cores,
+            pc_checkpoints=dict(self.pc_checkpoints),
+            wpq=list(self.wpq),
+            ckpt_shadow=dict(self.ckpt_shadow),
+        )
 
 
 def capture_crash_state(system: CapriSystem) -> CrashState:
-    """Snapshot the persistent domain of a (possibly mid-run) system."""
+    """Snapshot the persistent domain of a (possibly mid-run) system.
+
+    Every mutable field is copied — the snapshot must never alias live
+    pipeline state, or post-capture execution (and fault models mutating
+    the snapshot) would corrupt each other.  :meth:`ProxyEntry.clone`
+    copies all mutable containers per slot, not just ``ckpts``.
+    """
     if system.persist is None:
         raise ValueError("cannot capture crash state of a volatile system")
     core_entries: List[List[ProxyEntry]] = []
     for pipe in system.persist.pipelines:
-        entries = [copy.copy(e) for e in pipe.entries_in_order()]
-        for e in entries:
-            e.ckpts = dict(e.ckpts)
-        core_entries.append(entries)
+        core_entries.append([e.clone() for e in pipe.entries_in_order()])
     return CrashState(
         nvm_image=dict(system.nvm.image),
         core_entries=core_entries,
         num_cores=len(system.persist.pipelines),
         pc_checkpoints=dict(system.nvm.pc_checkpoints),
+        wpq=list(system.nvm.wpq),
+        ckpt_shadow=dict(system.nvm.ckpt_shadow),
     )
 
 
@@ -148,19 +173,36 @@ def run_until_crash(
     finished before the crash point (the plan's event index was past the
     end of execution).
     """
-    from repro.arch.params import SimParams
-
-    params = params or SimParams.scaled()
-    machine = Machine(module, quantum=quantum)
-    for func_name, args in spawns:
-        machine.spawn(func_name, args)
-    system = CapriSystem(
-        params, num_cores=max(1, len(spawns)), threshold=threshold
+    state, _machine = run_until_crash_with_machine(
+        module,
+        spawns,
+        plan,
+        params=params,
+        threshold=threshold,
+        quantum=quantum,
+        max_steps=max_steps,
     )
-    system.attach(machine)
+    return state
+
+
+def run_until_crash_with_machine(
+    module: Module,
+    spawns: Sequence[Tuple[str, Sequence[int]]],
+    plan: CrashPlan,
+    params=None,
+    threshold: int = 256,
+    quantum: int = 32,
+    max_steps: int = 50_000_000,
+) -> Tuple[Optional[CrashState], Machine]:
+    """Like :func:`run_until_crash`, but also returns the (interrupted or
+    finished) machine — campaigns need its pre-crash I/O log, which is an
+    external effect the crash cannot undo."""
+    machine, system = build_system(
+        module, spawns, params=params, threshold=threshold, quantum=quantum
+    )
     injector = CrashInjector(system, plan)
     try:
         machine.run(injector, max_steps=max_steps)
     except PowerFailure as pf:
-        return pf.state
-    return None
+        return pf.state, machine
+    return None, machine

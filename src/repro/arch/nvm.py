@@ -15,9 +15,40 @@ parallelism pipeline the 300 ns write latency).
 
 from __future__ import annotations
 
-from typing import Dict
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict
 
 from repro.arch.params import SimParams
+
+
+@dataclass(frozen=True)
+class WpqRecord:
+    """One write-pending-queue slot: the journal of a recently issued write.
+
+    ``prev`` is the word's value before the write (``None`` if the cell
+    was never written), so a fault model can *revert* the array — modelling
+    a drain the power cut mid-way — while the battery-backed queue record
+    itself survives for recovery to replay.  ``checksum`` guards the
+    record against torn queue writes.
+    """
+
+    addr: int
+    value: int
+    prev: int | None
+    checksum: int
+
+    @staticmethod
+    def make(addr: int, value: int, prev: int | None) -> "WpqRecord":
+        from repro.arch.proxy import word_checksum
+
+        return WpqRecord(addr, value, prev, word_checksum(addr, value))
+
+    @property
+    def intact(self) -> bool:
+        from repro.arch.proxy import word_checksum
+
+        return self.checksum == word_checksum(self.addr, self.value)
 
 
 class NVMain:
@@ -32,6 +63,16 @@ class NVMain:
         #: second phase.  Until then the boundary entry itself (in the
         #: non-volatile proxy buffers) carries the continuation.
         self.pc_checkpoints: Dict[int, tuple] = {}
+        #: The write-pending queue's journal: the last ``wpq_entries``
+        #: issued writes, oldest first.  Table 1 puts the WPQ inside the
+        #: persistent domain, so these records survive a power failure;
+        #: recovery replays them to heal a partially-drained array
+        #: (the ADR contract — see repro.fault.models).
+        self.wpq: Deque[WpqRecord] = deque(maxlen=params.wpq_entries)
+        #: Per-slot integrity words for the register-checkpoint array
+        #: (the ECC a real part keeps alongside the cells); recovery
+        #: verifies a slot's shadow before trusting its value.
+        self.ckpt_shadow: Dict[int, int] = {}
         #: Next cycle at which the write port can issue.
         self.write_free_at = 0.0
         # -- counters -----------------------------------------------------
@@ -61,24 +102,33 @@ class NVMain:
 
     # -- producers ----------------------------------------------------------------
 
+    def _journal(self, addr: int, value: int) -> None:
+        self.wpq.append(WpqRecord.make(addr, value, self.image.get(addr)))
+
     def writeback_words(self, now: float, words: Dict[int, int]) -> float:
         """Apply a regular-path writeback; returns last issue time."""
         t = now
         for addr, value in words.items():
             t = self.issue_write(now)
+            self._journal(addr, value)
             self.image[addr] = value
             self.writes_writeback += 1
         return t
 
     def redo_write(self, now: float, addr: int, value: int) -> float:
         t = self.issue_write(now)
+        self._journal(addr, value)
         self.image[addr] = value
         self.writes_redo += 1
         return t
 
     def ckpt_write(self, now: float, addr: int, value: int) -> float:
+        from repro.arch.proxy import word_checksum
+
         t = self.issue_write(now)
+        self._journal(addr, value)
         self.image[addr] = value
+        self.ckpt_shadow[addr] = word_checksum(addr, value)
         self.writes_ckpt += 1
         return t
 

@@ -38,6 +38,80 @@ from repro.arch.params import SimParams
 KIND_DATA = 0
 KIND_BOUNDARY = 1
 
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_WORD_MASK = (1 << 64) - 1
+
+
+def _fnv_mix(h: int, value) -> int:
+    """Fold one value (int, str, None, or tuple) into an FNV-1a hash.
+
+    Deliberately avoids Python's builtin ``hash`` (salted per process) so
+    checksums are reproducible across runs — fault-injection campaigns
+    promise determinism under a fixed seed.
+    """
+    if value is None:
+        data = b"\x00"
+    elif isinstance(value, bool):
+        data = b"\x01" if value else b"\x02"
+    elif isinstance(value, int):
+        data = value.to_bytes(16, "little", signed=True)
+    elif isinstance(value, str):
+        data = value.encode()
+    elif isinstance(value, tuple):
+        for v in value:
+            h = _fnv_mix(h, v)
+        return h
+    else:  # pragma: no cover - defensive
+        data = repr(value).encode()
+    for b in data:
+        h = ((h ^ b) * _FNV_PRIME) & _WORD_MASK
+    return h
+
+
+def word_checksum(addr: int, value: int) -> int:
+    """Integrity word for one NVM cell (the per-word ECC/CRC a real part
+    stores alongside the data array)."""
+    return _fnv_mix(_fnv_mix(_FNV_OFFSET, addr), value)
+
+
+def _continuation_key(continuation) -> tuple:
+    """A stable identity for a continuation's durable payload."""
+    if continuation is None:
+        return (None,)
+    if hasattr(continuation, "func_name"):
+        return (
+            continuation.func_name,
+            continuation.label,
+            continuation.index,
+            len(continuation.callstack),
+        )
+    # Engine-level tests use opaque stand-ins; fold their repr.
+    return (str(continuation),)
+
+
+def entry_checksum(entry: "ProxyEntry") -> int:
+    """Checksum over an entry's *durable payload* (Figure 5 fields).
+
+    Timing bookkeeping (``create_time``/``arrive_time``) is excluded: it
+    is simulator state, not part of what hardware writes to the buffer.
+    Every legitimate mutation of an entry (merge, valid-bit scan) goes
+    through :meth:`ProxyEntry.refresh_checksum`; a fault that flips bits
+    behind the checksum's back is therefore detectable at recovery.
+    """
+    h = _FNV_OFFSET
+    h = _fnv_mix(h, entry.kind)
+    h = _fnv_mix(h, entry.addr)
+    h = _fnv_mix(h, entry.undo)
+    h = _fnv_mix(h, entry.redo)
+    h = _fnv_mix(h, entry.redo_valid)
+    h = _fnv_mix(h, entry.region_seq)
+    h = _fnv_mix(h, entry.region_id)
+    h = _fnv_mix(h, _continuation_key(entry.continuation))
+    for slot_addr in sorted(entry.ckpts):
+        h = _fnv_mix(h, (slot_addr, entry.ckpts[slot_addr]))
+    return h
+
 
 class ProxyEntry:
     """One front-/back-end proxy buffer entry (Figure 5)."""
@@ -54,6 +128,7 @@ class ProxyEntry:
         "region_id",
         "continuation",
         "ckpts",
+        "checksum",
     )
 
     def __init__(
@@ -79,10 +154,41 @@ class ProxyEntry:
         self.region_id = region_id
         self.continuation = continuation
         self.ckpts = ckpts or {}
+        self.checksum = entry_checksum(self)
 
     @property
     def is_boundary(self) -> bool:
         return self.kind == KIND_BOUNDARY
+
+    @property
+    def intact(self) -> bool:
+        """Does the stored checksum match the payload?  False after a
+        torn write / bit flip that bypassed :meth:`refresh_checksum`."""
+        return self.checksum == entry_checksum(self)
+
+    def refresh_checksum(self) -> None:
+        """Recompute integrity after a legitimate hardware mutation
+        (front-end merge, Section 5.3.2 valid-bit scan)."""
+        self.checksum = entry_checksum(self)
+
+    def clone(self) -> "ProxyEntry":
+        """Copy with no shared mutable state (crash capture must not
+        alias the live pipeline — see ``capture_crash_state``).
+
+        ``checksum`` is copied verbatim, *not* recomputed: a snapshot of
+        a torn entry must stay torn.
+        """
+        dup = ProxyEntry.__new__(ProxyEntry)
+        for slot in ProxyEntry.__slots__:
+            value = getattr(self, slot)
+            if isinstance(value, dict):
+                value = dict(value)
+            elif isinstance(value, list):
+                value = list(value)
+            elif isinstance(value, set):
+                value = set(value)
+            setattr(dup, slot, value)
+        return dup
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         if self.is_boundary:
@@ -238,6 +344,7 @@ class CoreProxyPipeline:
         merged = self._fe_merge.get(addr)
         if merged is not None and merged.region_seq == self.region_seq:
             merged.redo = value
+            merged.refresh_checksum()
             self.entries_merged += 1
             return now
         if len(self.fe) >= self.fe_cap:
@@ -346,10 +453,12 @@ class CoreProxyPipeline:
         for entry in self.be:
             if not entry.is_boundary and entry.addr == addr and entry.redo_valid:
                 entry.redo_valid = False
+                entry.refresh_checksum()
                 count += 1
         for entry in self.fe:
             if not entry.is_boundary and entry.addr == addr and entry.redo_valid:
                 entry.redo_valid = False
+                entry.refresh_checksum()
                 count += 1
         return count
 

@@ -22,23 +22,121 @@ first:
 
 A core with no committed boundary at all (crash before its first boundary
 entry became durable) restarts cold from its spawn configuration.
+
+Fault tolerance (docs/INTERNALS.md §5)
+--------------------------------------
+The durable structures carry integrity metadata — per-entry checksums in
+the proxy buffers, a journal of the write-pending queue, and per-slot
+shadow words for the register-checkpoint array — so recovery *verifies*
+before it trusts.  Two modes:
+
+* ``strict=True`` (default): the first inconsistency raises a typed
+  :class:`RecoveryError` — :class:`TornEntryError`,
+  :class:`CheckpointMismatchError`, :class:`OrphanedBoundaryError`, or
+  :class:`WpqCorruptionError` — fail-stop semantics.
+* ``strict=False``: corruption is *quarantined*.  Torn entries are
+  skipped (their addresses marked tainted), a torn boundary rolls the
+  core back to its last intact boundary, and a core whose checkpoint
+  slots or continuation cannot be trusted is fenced off entirely (not
+  resumed).  The outcome is described by a structured
+  :class:`RecoveryReport` — corruption is detected and contained, never
+  silently mis-recovered.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.arch.crash import CrashState
+from repro.arch.proxy import ProxyEntry, word_checksum
 from repro.ir.function import RecoveryBlock
 from repro.ir.instructions import BinOp, Move, UnOp, eval_binop, eval_unop
-from repro.ir.module import Module, ckpt_slot_addr
+from repro.ir.module import Module, ckpt_slot_addr, is_ckpt_addr
 from repro.ir.values import Reg
 from repro.isa.machine import Continuation, Machine
 
 
 class RecoveryError(Exception):
     """Raised when the recovery protocol meets inconsistent durable state."""
+
+
+class TornEntryError(RecoveryError):
+    """A proxy-buffer entry's checksum does not match its payload — a
+    torn multi-word entry write or an in-buffer bit flip."""
+
+
+class CheckpointMismatchError(RecoveryError):
+    """A register-checkpoint slot's shadow integrity word disagrees with
+    the stored value."""
+
+
+class OrphanedBoundaryError(RecoveryError):
+    """A boundary's continuation references a function the module does
+    not contain — the resume point is unusable."""
+
+
+class WpqCorruptionError(RecoveryError):
+    """A write-pending-queue journal record failed its checksum."""
+
+
+# Finding kinds (RecoveryFinding.kind values).
+TORN_ENTRY = "torn-entry"
+CHECKSUM_MISMATCH = "checksum-mismatch"
+ORPHANED_BOUNDARY = "orphaned-boundary"
+TORN_WPQ = "torn-wpq"
+ROLLED_BACK_REGION = "rolled-back-region"
+
+
+@dataclass
+class RecoveryFinding:
+    """One detected inconsistency."""
+
+    kind: str
+    core: int
+    detail: str
+    addr: Optional[int] = None
+
+
+@dataclass
+class RecoveryReport:
+    """Structured outcome of a lenient (``strict=False``) recovery."""
+
+    findings: List[RecoveryFinding] = field(default_factory=list)
+    #: corrupt proxy entries skipped (redo/undo not applied).
+    quarantined_entries: int = 0
+    #: cores fenced off entirely (untrusted checkpoints/continuation).
+    quarantined_cores: List[int] = field(default_factory=list)
+    #: committed regions rolled back because they follow a torn boundary.
+    rolled_back_committed: int = 0
+    #: WPQ journal records replayed into the array.
+    wpq_replayed: int = 0
+    #: addresses whose durable value could not be restored with
+    #: confidence (a corrupt entry's undo/redo was untrusted).
+    tainted_addrs: Set[int] = field(default_factory=set)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def add(
+        self, kind: str, core: int, detail: str, addr: Optional[int] = None
+    ) -> None:
+        self.findings.append(RecoveryFinding(kind, core, detail, addr))
+
+    def summary(self) -> str:
+        if self.clean:
+            return "clean recovery (no findings)"
+        kinds: Dict[str, int] = {}
+        for f in self.findings:
+            kinds[f.kind] = kinds.get(f.kind, 0) + 1
+        parts = [f"{k}×{n}" for k, n in sorted(kinds.items())]
+        return (
+            f"{len(self.findings)} findings ({', '.join(parts)}); "
+            f"{self.quarantined_entries} entries quarantined, "
+            f"cores fenced: {self.quarantined_cores or 'none'}, "
+            f"{len(self.tainted_addrs)} tainted addrs"
+        )
 
 
 @dataclass
@@ -55,7 +153,8 @@ class RecoveredState:
     """Outcome of the recovery protocol."""
 
     nvm_image: Dict[int, int]
-    #: per-core resume points; ``None`` = restart cold from spawn.
+    #: per-core resume points; ``None`` = restart cold from spawn
+    #: (unless the core is listed in ``report.quarantined_cores``).
     resumes: List[Optional[CoreResume]]
     #: statistics
     regions_redone: int = 0
@@ -63,6 +162,11 @@ class RecoveredState:
     redo_words: int = 0
     undo_words: int = 0
     recovery_blocks_run: int = 0
+    #: integrity outcome (always present; empty findings when clean).
+    report: RecoveryReport = field(default_factory=RecoveryReport)
+    #: checkpoint-array shadow words after recovery (re-seeded into the
+    #: resumed system so a later crash still verifies).
+    ckpt_shadow: Dict[int, int] = field(default_factory=dict)
 
 
 def _eval_recovery_block(rb: RecoveryBlock, regs: List[int]) -> None:
@@ -83,59 +187,231 @@ def _eval_recovery_block(rb: RecoveryBlock, regs: List[int]) -> None:
             raise RecoveryError(f"impure instruction in recovery block: {instr!r}")
 
 
-def recover(state: CrashState, module: Module) -> RecoveredState:
-    """Run the Section 5.4 protocol over a crash snapshot."""
+def _replay_wpq(
+    state: CrashState,
+    image: Dict[int, int],
+    shadow: Dict[int, int],
+    out: "RecoveredState",
+    strict: bool,
+) -> None:
+    """Drain the surviving write-pending-queue journal into the array.
+
+    The WPQ sits inside the persistent domain (Table 1), so its records
+    survive the outage even if the array writes they describe were cut
+    mid-drain; replaying them in order is idempotent and heals a
+    partially drained array.
+    """
+    for rec in state.wpq:
+        if not rec.intact:
+            if strict:
+                raise WpqCorruptionError(
+                    f"WPQ record for {rec.addr:#x} failed its checksum"
+                )
+            out.report.add(
+                TORN_WPQ,
+                core=-1,
+                detail=f"WPQ record for {rec.addr:#x} dropped",
+                addr=rec.addr,
+            )
+            out.report.tainted_addrs.add(rec.addr)
+            continue
+        if image.get(rec.addr) != rec.value:
+            out.report.wpq_replayed += 1
+        image[rec.addr] = rec.value
+        if is_ckpt_addr(rec.addr):
+            shadow[rec.addr] = word_checksum(rec.addr, rec.value)
+
+
+def _first_torn_boundary(entries: List[ProxyEntry]) -> Optional[int]:
+    for i, e in enumerate(entries):
+        if e.is_boundary and not e.intact:
+            return i
+    return None
+
+
+def recover(
+    state: CrashState, module: Module, strict: bool = True
+) -> RecoveredState:
+    """Run the Section 5.4 protocol over a crash snapshot.
+
+    With ``strict=True`` (the default) any integrity violation raises a
+    typed :class:`RecoveryError`; with ``strict=False`` corruption is
+    quarantined and described in ``RecoveredState.report``.
+    """
     image = dict(state.nvm_image)
+    shadow = dict(state.ckpt_shadow)
     resumes: List[Optional[CoreResume]] = []
-    out = RecoveredState(nvm_image=image, resumes=resumes)
+    out = RecoveredState(nvm_image=image, resumes=resumes, ckpt_shadow=shadow)
+    report = out.report
+
+    _replay_wpq(state, image, shadow, out, strict)
 
     for core in range(state.num_cores):
         entries = state.core_entries[core]
+
+        if strict:
+            for e in entries:
+                if not e.intact:
+                    raise TornEntryError(
+                        f"core {core}: torn {'boundary' if e.is_boundary else 'data'}"
+                        f" entry (seq {e.region_seq}"
+                        + ("" if e.is_boundary else f", addr {e.addr:#x}")
+                        + ")"
+                    )
+
+        # A torn *boundary* makes its region's commit untrustworthy, and
+        # entry ordering after it can no longer be anchored: cut the
+        # timeline there and roll everything from the tear onwards back.
+        cut = _first_torn_boundary(entries)
+        truncated: List[ProxyEntry] = []
+        if cut is not None:
+            effective = entries[:cut]
+            truncated = entries[cut:]
+            torn_boundary = entries[cut]
+            report.add(
+                TORN_ENTRY,
+                core,
+                f"torn boundary entry (seq {torn_boundary.region_seq}); "
+                "rolling back to last intact boundary",
+            )
+            report.quarantined_entries += 1
+        else:
+            effective = entries
+
         # The resume point starts at the durable PC checkpoint (regions
         # whose boundary entry already completed phase 2); surviving
         # boundary entries in the buffers are newer and override it.
         last_continuation, last_region_id = state.pc_checkpoints.get(
             core, (None, None)
         )
+
         # Phase A: committed regions — redo in order, apply checkpoints.
+        core_tainted = False
         tail_start = 0
-        for i, entry in enumerate(entries):
-            if entry.is_boundary:
-                for j in range(tail_start, i):
-                    data = entries[j]
-                    if data.redo_valid:
-                        image[data.addr] = data.redo
-                        out.redo_words += 1
-                for slot_addr, value in entry.ckpts.items():
-                    image[slot_addr] = value
-                last_continuation = entry.continuation
-                last_region_id = entry.region_id
-                out.regions_redone += 1
-                tail_start = i + 1
-        # Phase B: the uncommitted tail — undo in reverse.
-        tail = entries[tail_start:]
-        if tail:
-            for data in reversed(tail):
-                image[data.addr] = data.undo
-                out.undo_words += 1
+        for i, entry in enumerate(effective):
+            if not entry.is_boundary:
+                continue
+            for j in range(tail_start, i):
+                data = effective[j]
+                if not data.intact:
+                    report.add(
+                        TORN_ENTRY,
+                        core,
+                        f"torn data entry in committed region "
+                        f"{entry.region_id} (addr {data.addr:#x}); "
+                        "redo dropped",
+                        addr=data.addr,
+                    )
+                    report.quarantined_entries += 1
+                    report.tainted_addrs.add(data.addr)
+                    core_tainted = True
+                    continue
+                if data.redo_valid:
+                    image[data.addr] = data.redo
+                    out.redo_words += 1
+            for slot_addr, value in entry.ckpts.items():
+                image[slot_addr] = value
+                shadow[slot_addr] = word_checksum(slot_addr, value)
+            last_continuation = entry.continuation
+            last_region_id = entry.region_id
+            out.regions_redone += 1
+            tail_start = i + 1
+
+        # Phase B: the uncommitted tail — undo in reverse.  Entries past
+        # a torn boundary (``truncated``) are rolled back too: committed
+        # regions beyond the tear cannot be anchored to a trusted resume
+        # point, so the core rewinds to its last intact boundary.
+        tail = effective[tail_start:] + truncated
+        rolled_any = False
+        for data in reversed(tail):
+            if data.is_boundary:
+                if data.intact:
+                    report.add(
+                        ROLLED_BACK_REGION,
+                        core,
+                        f"committed region {data.region_id} rolled back "
+                        "(follows a torn boundary)",
+                    )
+                    report.rolled_back_committed += 1
+                continue
+            if not data.intact:
+                report.add(
+                    TORN_ENTRY,
+                    core,
+                    f"torn data entry in interrupted region "
+                    f"(addr {data.addr:#x}); undo untrusted",
+                    addr=data.addr,
+                )
+                report.quarantined_entries += 1
+                report.tainted_addrs.add(data.addr)
+                core_tainted = True
+                continue
+            image[data.addr] = data.undo
+            out.undo_words += 1
+            rolled_any = True
+        if tail and rolled_any:
             out.regions_rolled_back += 1
 
         # Phase C: register restore + recovery blocks.
+        if core_tainted:
+            # A quarantined entry means some of this core's durable words
+            # are indeterminate; resuming (or cold-restarting) over them
+            # would silently propagate garbage.  Fence the core instead —
+            # containment beats availability.
+            report.quarantined_cores.append(core)
+            resumes.append(None)
+            continue
         if last_continuation is None:
             resumes.append(None)  # cold restart from spawn
             continue
         cont: Continuation = last_continuation
         func = module.functions.get(cont.func_name)
         if func is None:
-            raise RecoveryError(
-                f"core {core}: continuation references unknown function "
-                f"{cont.func_name!r}"
+            if strict:
+                raise OrphanedBoundaryError(
+                    f"core {core}: continuation references unknown function "
+                    f"{cont.func_name!r}"
+                )
+            report.add(
+                ORPHANED_BOUNDARY,
+                core,
+                f"continuation references unknown function {cont.func_name!r}; "
+                "core fenced off",
             )
+            report.quarantined_cores.append(core)
+            resumes.append(None)
+            continue
         depth = cont.depth
-        regs = [
-            image.get(ckpt_slot_addr(core, r, depth), 0)
-            for r in range(func.num_regs)
-        ]
+        regs: List[int] = []
+        corrupt_slot: Optional[int] = None
+        for r in range(func.num_regs):
+            slot = ckpt_slot_addr(core, r, depth)
+            value = image.get(slot, 0)
+            expected = shadow.get(slot)
+            if slot in image or expected is not None:
+                if expected is None or expected != word_checksum(slot, value):
+                    corrupt_slot = slot
+                    if strict:
+                        raise CheckpointMismatchError(
+                            f"core {core}: checkpoint slot {slot:#x} "
+                            f"(r{r}, depth {depth}) failed its shadow check"
+                        )
+                    report.add(
+                        CHECKSUM_MISMATCH,
+                        core,
+                        f"checkpoint slot for r{r} at depth {depth} "
+                        "failed its shadow check; core fenced off",
+                        addr=slot,
+                    )
+                    break
+            regs.append(value)
+        if corrupt_slot is not None:
+            # The register file cannot be trusted; resuming could silently
+            # compute garbage.  Fence the core off and report it.
+            report.quarantined_cores.append(core)
+            report.tainted_addrs.add(corrupt_slot)
+            resumes.append(None)
+            continue
         for rb in func.recovery_blocks.get(last_region_id, []):
             _eval_recovery_block(rb, regs)
             out.recovery_blocks_run += 1
@@ -176,6 +452,8 @@ def prepare_resumed_run(
     )
     system.machine = machine
     system.nvm.image.update(recovered.nvm_image)
+    # Checkpoint-array integrity words survive with the array.
+    system.nvm.ckpt_shadow.update(recovered.ckpt_shadow)
     # The durable PC checkpoints survive the outage: re-seed them so an
     # immediate second crash still finds its resume points.
     for core, resume in enumerate(recovered.resumes):
@@ -195,7 +473,13 @@ def _build_resumed_machine(
 ) -> Machine:
     machine = Machine(module, quantum=quantum)
     machine.memory = dict(recovered.nvm_image)
+    quarantined = set(recovered.report.quarantined_cores)
     for core, resume in enumerate(recovered.resumes):
+        if core in quarantined:
+            # Fenced-off core: leave its slot empty — it must not run.
+            while len(machine.harts) <= core:
+                machine.harts.append(None)  # type: ignore[arg-type]
+            continue
         if resume is not None:
             machine.resume(core, resume.continuation, resume.registers)
         else:

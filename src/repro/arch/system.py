@@ -232,6 +232,35 @@ class CapriSystem(Observer):
         return m
 
 
+def build_system(
+    module: Module,
+    spawns: Sequence[Tuple[str, Sequence[int]]],
+    params: Optional[SimParams] = None,
+    threshold: int = 256,
+    persistence: bool = True,
+    quantum: int = 32,
+) -> Tuple[Machine, "CapriSystem"]:
+    """Construct the (machine, system) pair for a workload, unstarted.
+
+    The single construction path shared by normal runs
+    (:func:`run_workload`) and crash runs
+    (:func:`repro.arch.crash.run_until_crash`) — so the two cannot drift
+    in how cores are counted, harts spawned, or the durable image seeded.
+    """
+    params = params or SimParams.scaled()
+    machine = Machine(module, quantum=quantum)
+    for func_name, args in spawns:
+        machine.spawn(func_name, args)
+    system = CapriSystem(
+        params,
+        num_cores=max(1, len(spawns)),
+        threshold=threshold,
+        persistence=persistence,
+    )
+    system.attach(machine)
+    return machine, system
+
+
 def run_workload(
     module: Module,
     spawns: Sequence[Tuple[str, Sequence[int]]],
@@ -245,16 +274,13 @@ def run_workload(
 
     ``spawns`` lists (function name, args) per hart/core.
     """
-    params = params or SimParams.scaled()
-    machine = Machine(module, quantum=quantum)
-    for func_name, args in spawns:
-        machine.spawn(func_name, args)
-    system = CapriSystem(
-        params,
-        num_cores=max(1, len(spawns)),
+    machine, system = build_system(
+        module,
+        spawns,
+        params=params,
         threshold=threshold,
         persistence=persistence,
+        quantum=quantum,
     )
-    system.attach(machine)
     machine.run(system, max_steps=max_steps)
     return system.finish(), machine

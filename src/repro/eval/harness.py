@@ -118,3 +118,19 @@ class EvalHarness:
             baseline_cycles=self.baseline_cycles(name),
             region_stats=region_stats,
         )
+
+    # -- robustness ---------------------------------------------------------
+
+    def fault_campaign(self, name: str, campaign_config=None):
+        """Run a crash-consistency fault-injection campaign on a benchmark.
+
+        Compiles ``name`` the same way :meth:`run` does and sweeps crash
+        points under :mod:`repro.fault` with this harness's parameters;
+        returns a :class:`~repro.fault.campaign.CampaignResult`.
+        """
+        from repro.fault.campaign import CampaignConfig, run_workload_campaign
+
+        cc = campaign_config or CampaignConfig()
+        cc.params = cc.params or self.params
+        cc.quantum = self.quantum
+        return run_workload_campaign(name, cc, scale=self.scale)

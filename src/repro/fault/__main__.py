@@ -1,0 +1,101 @@
+"""Command-line fault-injection campaigns.
+
+Examples::
+
+    # Exhaustive clean-power-loss sweep (every observer event):
+    python -m repro.fault --workload genome --scale 0.1
+
+    # Sampled adversarial sweep, lenient recovery:
+    python -m repro.fault --workload genome --scale 0.1 --sample 50 \\
+        --models all --lenient
+
+Exit status is non-zero iff the campaign found a failure (a silent
+mis-recovery, a clean-crash divergence, or an unexpected error).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.fault.campaign import CampaignConfig, run_workload_campaign
+from repro.fault.models import available_models
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fault",
+        description="Crash-consistency fault-injection campaign",
+    )
+    parser.add_argument(
+        "--workload",
+        required=True,
+        help="registry workload name (see repro.workloads)",
+    )
+    parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument("--threshold", type=int, default=32)
+    parser.add_argument(
+        "--sample",
+        type=int,
+        default=None,
+        help="crash-point sample size (default: exhaustive)",
+    )
+    parser.add_argument("--seed", type=lambda s: int(s, 0), default=0xCA9121)
+    parser.add_argument(
+        "--models",
+        default="clean",
+        help="comma-separated fault models, or 'all' "
+        f"(known: {', '.join(available_models())})",
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--strict",
+        dest="strict",
+        action="store_true",
+        default=None,
+        help="fail-stop recovery: corruption raises (default for clean)",
+    )
+    mode.add_argument(
+        "--lenient",
+        dest="strict",
+        action="store_false",
+        help="quarantining recovery: corruption is contained and reported",
+    )
+    parser.add_argument(
+        "--no-minimize",
+        dest="minimize",
+        action="store_false",
+        help="skip shrinking the first failure",
+    )
+    args = parser.parse_args(argv)
+
+    model_names = tuple(
+        name.strip() for name in args.models.split(",") if name.strip()
+    )
+    # Default mode: strict for clean sweeps (any raise is a bug), lenient
+    # when injecting faults (we want containment, not fail-stop).
+    strict = args.strict
+    if strict is None:
+        strict = model_names == ("clean",)
+
+    config = CampaignConfig(
+        threshold=args.threshold,
+        seed=args.seed,
+        sample=args.sample,
+        models=model_names,
+        strict=strict,
+        minimize=args.minimize,
+    )
+    try:
+        result = run_workload_campaign(
+            args.workload, config, scale=args.scale
+        )
+    except KeyError as err:  # unknown workload or fault model
+        parser.error(str(err.args[0] if err.args else err))
+    print(result.summary())
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

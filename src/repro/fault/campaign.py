@@ -1,0 +1,326 @@
+"""The fault-injection campaign runner.
+
+One campaign = one workload × one fault combination × a set of crash
+points (every observer event, or a deterministic seeded sample for long
+traces).  Per point:
+
+1. run under the Capri system to the crash point and capture the
+   persistent domain (:func:`run_until_crash_with_machine`),
+2. apply the fault models to a clone of the snapshot,
+3. recover (strict or lenient) and resume to completion,
+4. judge the outcome against the differential oracle.
+
+Outcome classification — the campaign's contract is **zero silent
+mis-recoveries**:
+
+========================  ====================================================
+status                    meaning
+========================  ====================================================
+``ok``                    observationally equivalent to the golden run
+``finished``              program ended before the crash point (no crash)
+``detected``              strict recovery raised a typed ``RecoveryError``
+``quarantined``           lenient recovery reported the corruption and the
+                          damage is contained (tainted addrs / fenced cores)
+``mismatch``              FAILURE: clean crash diverged from golden
+``silent-mismatch``       FAILURE: injected fault diverged *unreported*
+``error``                 FAILURE: unexpected exception
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.crash import CrashPlan, run_until_crash_with_machine
+from repro.arch.params import SimParams
+from repro.arch.recovery import RecoveryError, recover, resume_and_finish
+from repro.fault.models import FaultModel, FaultNote, apply_faults, get_models
+from repro.fault.oracle import (
+    GoldenResult,
+    MinimizedFailure,
+    differential_check,
+    golden_run,
+    minimize_failure,
+)
+from repro.ir.module import Module
+from repro.isa.machine import MachineError
+
+FAILURE_STATUSES = ("mismatch", "silent-mismatch", "error")
+
+
+@dataclass
+class CampaignConfig:
+    """Knobs for one sweep."""
+
+    threshold: int = 32
+    quantum: int = 32
+    seed: int = 0xCA9121
+    #: None = exhaustive (every event index); else a seeded sample size.
+    sample: Optional[int] = None
+    #: fault-model names (see repro.fault.models.available_models).
+    models: Sequence[str] = ("clean",)
+    strict: bool = True
+    minimize: bool = True
+    max_steps: int = 50_000_000
+    params: Optional[SimParams] = None
+
+
+@dataclass
+class CrashOutcome:
+    """One sweep point's result."""
+
+    event_index: int
+    status: str
+    detail: str = ""
+    injected: int = 0  # fault notes (mutations actually performed)
+    findings: int = 0  # recovery-report findings
+
+    @property
+    def failed(self) -> bool:
+        return self.status in FAILURE_STATUSES
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign produced."""
+
+    workload: str
+    models: Tuple[str, ...]
+    strict: bool
+    seed: int
+    total_events: int
+    outcomes: List[CrashOutcome] = field(default_factory=list)
+    minimized: Optional[MinimizedFailure] = None
+
+    @property
+    def failures(self) -> List[CrashOutcome]:
+        return [o for o in self.outcomes if o.failed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for o in self.outcomes:
+            counts[o.status] = counts.get(o.status, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        lines = [
+            f"fault campaign: {self.workload}  "
+            f"models={','.join(self.models)}  "
+            f"mode={'strict' if self.strict else 'lenient'}  "
+            f"seed={self.seed:#x}",
+            f"  crash points: {len(self.outcomes)} of {self.total_events} "
+            "events",
+        ]
+        for status, n in sorted(self.counts().items()):
+            lines.append(f"  {status:>16}: {n}")
+        if self.failures:
+            first = self.failures[0]
+            lines.append(
+                f"  FIRST FAILURE at event {first.event_index}: "
+                f"{first.status} — {first.detail}"
+            )
+            if self.minimized is not None:
+                lines.append(
+                    f"  minimized to event {self.minimized.event_index} "
+                    f"with models {','.join(self.minimized.models)} "
+                    f"({self.minimized.attempts} re-runs)"
+                )
+        else:
+            lines.append("  PASS — zero silent mis-recoveries")
+        return "\n".join(lines)
+
+
+def select_crash_points(
+    total_events: int, sample: Optional[int], seed: int
+) -> List[int]:
+    """The sweep's crash indices: exhaustive, or a seeded sample that
+    always includes the first and last event (the classic edge cases)."""
+    if total_events <= 0:
+        return []
+    if sample is None or sample >= total_events:
+        return list(range(total_events))
+    rng = random.Random(seed)
+    picked = set(rng.sample(range(total_events), sample))
+    picked.add(0)
+    picked.add(total_events - 1)
+    return sorted(picked)
+
+
+def _point_rng(seed: int, event_index: int) -> random.Random:
+    """Per-point RNG: deterministic in (campaign seed, crash index)."""
+    return random.Random((seed << 20) ^ event_index)
+
+
+def run_sweep_point(
+    module: Module,
+    spawns: Sequence[Tuple[str, Sequence[int]]],
+    golden: GoldenResult,
+    event_index: int,
+    models: Sequence[FaultModel],
+    config: CampaignConfig,
+) -> CrashOutcome:
+    """Crash at one event index, inject, recover, resume, judge."""
+    state, crashed_machine = run_until_crash_with_machine(
+        module,
+        spawns,
+        CrashPlan(event_index),
+        params=config.params,
+        threshold=config.threshold,
+        quantum=config.quantum,
+        max_steps=config.max_steps,
+    )
+    if state is None:
+        return CrashOutcome(event_index, "finished")
+    pre_crash_io = list(crashed_machine.io_log)
+
+    mutated, notes = apply_faults(
+        state, models, _point_rng(config.seed, event_index)
+    )
+
+    try:
+        recovered = recover(mutated, module, strict=config.strict)
+    except RecoveryError as err:
+        if notes:
+            return CrashOutcome(
+                event_index,
+                "detected",
+                detail=f"{type(err).__name__}: {err}",
+                injected=len(notes),
+            )
+        return CrashOutcome(
+            event_index,
+            "error",
+            detail=f"clean crash refused recovery — {type(err).__name__}: {err}",
+        )
+
+    report = recovered.report
+    try:
+        finished = resume_and_finish(
+            recovered,
+            module,
+            spawns,
+            quantum=config.quantum,
+            max_steps=config.max_steps,
+        )
+    except (MachineError, RecoveryError) as err:
+        if not config.strict and not report.clean:
+            return CrashOutcome(
+                event_index,
+                "quarantined",
+                detail=f"resume refused after quarantine — {err}",
+                injected=len(notes),
+                findings=len(report.findings),
+            )
+        return CrashOutcome(
+            event_index,
+            "error",
+            detail=f"resume failed — {type(err).__name__}: {err}",
+            injected=len(notes),
+        )
+
+    verdict = differential_check(
+        golden, finished, pre_crash_io=pre_crash_io, report=report
+    )
+    if verdict.equivalent:
+        return CrashOutcome(
+            event_index,
+            "ok",
+            injected=len(notes),
+            findings=len(report.findings),
+        )
+    if not config.strict and verdict.contained_by(report):
+        return CrashOutcome(
+            event_index,
+            "quarantined",
+            detail=report.summary(),
+            injected=len(notes),
+            findings=len(report.findings),
+        )
+    status = "silent-mismatch" if notes else "mismatch"
+    return CrashOutcome(
+        event_index,
+        status,
+        detail=(
+            f"{len(verdict.mismatched_addrs)} addrs diverge "
+            f"(first: {[hex(a) for a in verdict.mismatched_addrs[:4]]}), "
+            f"io_ok={verdict.io_ok}, report: {report.summary()}"
+        ),
+        injected=len(notes),
+        findings=len(report.findings),
+    )
+
+
+def run_campaign(
+    module: Module,
+    spawns: Sequence[Tuple[str, Sequence[int]]],
+    config: Optional[CampaignConfig] = None,
+    name: str = "<module>",
+) -> CampaignResult:
+    """Sweep crash points over an already-compiled module."""
+    config = config or CampaignConfig()
+    models = get_models(config.models)
+    golden = golden_run(
+        module, spawns, quantum=config.quantum, max_steps=config.max_steps
+    )
+    points = select_crash_points(
+        golden.total_events, config.sample, config.seed
+    )
+    result = CampaignResult(
+        workload=name,
+        models=tuple(m.name for m in models),
+        strict=config.strict,
+        seed=config.seed,
+        total_events=golden.total_events,
+    )
+    for at in points:
+        result.outcomes.append(
+            run_sweep_point(module, spawns, golden, at, models, config)
+        )
+
+    if config.minimize and result.failures:
+        first = result.failures[0]
+
+        def still_fails(index: int, model_names: Tuple[str, ...]) -> bool:
+            probe = CampaignConfig(
+                threshold=config.threshold,
+                quantum=config.quantum,
+                seed=config.seed,
+                models=model_names,
+                strict=config.strict,
+                minimize=False,
+                max_steps=config.max_steps,
+                params=config.params,
+            )
+            outcome = run_sweep_point(
+                module, spawns, golden, index, get_models(model_names), probe
+            )
+            return outcome.failed
+
+        result.minimized = minimize_failure(
+            still_fails, first.event_index, tuple(result.models)
+        )
+    return result
+
+
+def run_workload_campaign(
+    workload_name: str,
+    config: Optional[CampaignConfig] = None,
+    scale: float = 0.3,
+) -> CampaignResult:
+    """Build a registry workload, compile it with Capri, and sweep it."""
+    from repro.compiler import CapriCompiler, OptConfig
+    from repro.workloads import get_workload
+
+    config = config or CampaignConfig()
+    workload = get_workload(workload_name)
+    module, spawns = workload.build(scale)
+    compiled = (
+        CapriCompiler(OptConfig.licm(config.threshold)).compile(module).module
+    )
+    return run_campaign(compiled, spawns, config, name=workload_name)

@@ -1,0 +1,235 @@
+"""The differential recovery oracle.
+
+A crash-free *golden run* fixes the workload's observable behaviour: the
+final data-segment memory image and the per-core I/O trace.  A
+crashed-recovered-resumed execution is **observationally equivalent**
+when
+
+* its final memory image matches the golden image *modulo the log area*
+  (the register-checkpoint storage — recovery bookkeeping, not program
+  state), and
+* per core, the golden I/O sequence is a subsequence of the observed
+  pre-crash + post-resume sequence: the Section 3.3 persist barrier
+  guarantees at-least-once delivery, so replayed duplicates are legal
+  but lost or reordered effects are not.
+
+:func:`minimize_failure` shrinks a failing (crash index, fault set) to a
+smaller reproducer by greedily dropping fault models and bisecting the
+event index downward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.recovery import RecoveryReport
+from repro.ir.module import Module, is_ckpt_addr
+from repro.isa.machine import Machine
+from repro.isa.trace import Observer
+
+IoEvent = Tuple[int, int, int]  # (core, port, value)
+
+
+class EventCounter(Observer):
+    """Counts observer events exactly as the crash injector does — one
+    tick per delegated callback — so a golden run yields the campaign's
+    crash-point universe."""
+
+    def __init__(self) -> None:
+        self.events = 0
+
+    def _tick(self) -> None:
+        self.events += 1
+
+    def on_retire(self, core, kind):
+        self._tick()
+
+    def on_load(self, core, addr):
+        self._tick()
+
+    def on_store(self, core, addr, value, old):
+        self._tick()
+
+    def on_ckpt(self, core, reg, value, addr):
+        self._tick()
+
+    def on_boundary(self, core, region_id, continuation):
+        self._tick()
+
+    def on_fence(self, core):
+        self._tick()
+
+    def on_atomic(self, core, addr, value, old):
+        self._tick()
+
+    def on_io(self, core, port, value):
+        self._tick()
+
+    def on_halt(self, core):
+        self._tick()
+
+
+def data_image(machine: Machine) -> Dict[int, int]:
+    """Final data-segment memory, log area (checkpoint storage) masked."""
+    return {
+        addr: value
+        for addr, value in machine.memory.items()
+        if not is_ckpt_addr(addr)
+    }
+
+
+@dataclass
+class GoldenResult:
+    """What a crash-free execution observably produced."""
+
+    data: Dict[int, int]
+    io_log: List[IoEvent]
+    total_events: int
+
+
+def golden_run(
+    module: Module,
+    spawns: Sequence[Tuple[str, Sequence[int]]],
+    quantum: int = 32,
+    max_steps: int = 50_000_000,
+) -> GoldenResult:
+    """Run the workload crash-free on the functional machine.
+
+    The machine is architecturally exact — the Capri system never changes
+    what programs compute — so the functional run is the reference, and
+    its event count (the observer callbacks the crash injector would have
+    delegated) is the sweep's crash-point universe.
+    """
+    machine = Machine(module, quantum=quantum)
+    for func_name, args in spawns:
+        machine.spawn(func_name, args)
+    counter = EventCounter()
+    machine.run(counter, max_steps=max_steps)
+    return GoldenResult(
+        data=data_image(machine),
+        io_log=list(machine.io_log),
+        total_events=counter.events,
+    )
+
+
+def _is_subsequence(needle: Sequence, haystack: Sequence) -> bool:
+    it = iter(haystack)
+    return all(any(x == y for y in it) for x in needle)
+
+
+@dataclass
+class OracleVerdict:
+    """Outcome of one differential comparison."""
+
+    equivalent: bool
+    mismatched_addrs: List[int] = field(default_factory=list)
+    io_ok: bool = True
+
+    def contained_by(self, report: Optional[RecoveryReport]) -> bool:
+        """Is every divergence accounted for by the recovery report?
+
+        A quarantined core makes full-run equivalence unattainable by
+        design (the core was fenced off rather than allowed to compute
+        garbage) — that counts as contained as long as the report says
+        so.  Otherwise every mismatching address must be tainted.
+        """
+        if self.equivalent:
+            return True
+        if report is None or report.clean:
+            return False
+        if report.quarantined_cores:
+            return True
+        return bool(self.mismatched_addrs) and all(
+            addr in report.tainted_addrs for addr in self.mismatched_addrs
+        ) and self.io_ok
+
+
+def differential_check(
+    golden: GoldenResult,
+    finished: Machine,
+    pre_crash_io: Sequence[IoEvent] = (),
+    report: Optional[RecoveryReport] = None,
+) -> OracleVerdict:
+    """Compare a recovered-and-resumed execution against the golden run."""
+    final = data_image(finished)
+    addrs = set(golden.data) | set(final)
+    mismatched = sorted(
+        addr
+        for addr in addrs
+        if golden.data.get(addr, 0) != final.get(addr, 0)
+    )
+
+    observed = list(pre_crash_io) + list(finished.io_log)
+    fenced = set(report.quarantined_cores) if report is not None else set()
+    io_ok = True
+    cores = {c for (c, _, _) in golden.io_log}
+    for core in cores:
+        if core in fenced:
+            continue
+        want = [(p, v) for (c, p, v) in golden.io_log if c == core]
+        got = [(p, v) for (c, p, v) in observed if c == core]
+        if not _is_subsequence(want, got):
+            io_ok = False
+            break
+
+    return OracleVerdict(
+        equivalent=not mismatched and io_ok,
+        mismatched_addrs=mismatched,
+        io_ok=io_ok,
+    )
+
+
+@dataclass
+class MinimizedFailure:
+    """Smallest reproducer found for a failing sweep point."""
+
+    event_index: int
+    models: Tuple[str, ...]
+    attempts: int
+
+
+def minimize_failure(
+    still_fails: Callable[[int, Tuple[str, ...]], bool],
+    event_index: int,
+    models: Tuple[str, ...],
+    max_attempts: int = 24,
+) -> MinimizedFailure:
+    """Greedy shrink of a failing (crash index, fault combination).
+
+    ``still_fails(index, models)`` re-runs one sweep point and reports
+    whether the failure persists.  First drop fault models one at a time
+    (to a fixpoint), then bisect the event index downward.  Best-effort:
+    failures need not be monotone in the index, so the result is a local
+    minimum, bounded by ``max_attempts`` re-runs.
+    """
+    attempts = 0
+
+    # 1. Shrink the fault combination.
+    changed = True
+    while changed and len(models) > 1 and attempts < max_attempts:
+        changed = False
+        for i in range(len(models)):
+            candidate = models[:i] + models[i + 1 :]
+            attempts += 1
+            if still_fails(event_index, candidate):
+                models = candidate
+                changed = True
+                break
+            if attempts >= max_attempts:
+                break
+
+    # 2. Bisect the event index downward (assumes rough monotonicity).
+    lo, hi = 0, event_index
+    while lo < hi and attempts < max_attempts:
+        mid = (lo + hi) // 2
+        attempts += 1
+        if still_fails(mid, models):
+            hi = mid
+        else:
+            lo = mid + 1
+    if hi < event_index:
+        attempts += 1
+        if not still_fails(hi, models):
+            hi = event_index  # non-monotone neighbourhood: keep original
+    return MinimizedFailure(event_index=hi, models=models, attempts=attempts)

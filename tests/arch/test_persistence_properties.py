@@ -154,17 +154,20 @@ class TestUndoChain:
     def test_first_entry_undo_is_pre_region_value(self, seq):
         driver = Driver(prevention=True)
         pre_region: Dict[int, int] = {}
-        first_undo: Dict[int, int] = {}
 
         for action in seq:
             if action[0] == "store":
+                # The driver inserts a boundary itself when a region hits
+                # the store threshold — that starts a new region exactly
+                # like an explicit boundary action does.
+                if driver.stores_in_region >= THRESHOLD - 1:
+                    pre_region.clear()
                 addr = ADDRS[action[1]]
                 if addr not in pre_region:
                     pre_region[addr] = driver.arch.get(addr, 0)
             driver.apply(action)
             if action[0] == "boundary":
                 pre_region.clear()
-                first_undo.clear()
 
         # Inspect the trailing (uncommitted) region's entries.
         entries = driver.engine.pipelines[0].entries_in_order()
