@@ -22,6 +22,22 @@ BENCH_SCALE = 0.4
 REPRESENTATIVES = ["508.namd_r", "ssca2", "volrend"]
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_sweep_cache(tmp_path_factory):
+    """Keep figure sweeps (which memoise on disk) out of results/."""
+    import os
+
+    from repro.sweep.cache import CACHE_DIR_ENV
+
+    previous = os.environ.get(CACHE_DIR_ENV)
+    os.environ[CACHE_DIR_ENV] = str(tmp_path_factory.mktemp("sweep-cache"))
+    yield
+    if previous is None:
+        os.environ.pop(CACHE_DIR_ENV, None)
+    else:
+        os.environ[CACHE_DIR_ENV] = previous
+
+
 @pytest.fixture(scope="session")
 def harness() -> EvalHarness:
     """Session-wide harness: volatile baselines are computed once."""

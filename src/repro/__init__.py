@@ -16,9 +16,15 @@ A complete Python reproduction of Jeong, Zeng & Jung, HPDC 2022
 * :mod:`repro.workloads` — shape-matched stand-ins for SPEC CPU2017,
   STAMP and Splash-3,
 * :mod:`repro.eval` — the evaluation harness regenerating every figure
-  of the paper plus the extension analyses.
+  of the paper plus the extension analyses,
+* :mod:`repro.api` — the public run API: the frozen :class:`RunSpec`
+  interchange type, :class:`RunResult` envelopes, spec fingerprints,
+* :mod:`repro.sweep` — the parallel sweep engine and its persistent
+  content-addressed result cache (``python -m repro sweep``),
+* :mod:`repro.fault` — crash-consistency fault-injection campaigns.
 
-Start with README.md's sixty-second tour or ``examples/quickstart.py``.
+Start with README.md's sixty-second tour or ``examples/quickstart.py``;
+``python -m repro`` lists the consolidated command-line entry points.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

@@ -1,0 +1,69 @@
+"""The consolidated command line: ``python -m repro <subcommand>``.
+
+========   ==========================================================
+sweep      parallel benchmark sweep with persistent result cache
+fault      crash-consistency fault-injection campaign
+profile    workload characterisation tables
+report     one-shot full evaluation report (all figures + analyses)
+figures    individual paper figures (fig8, fig9, …)
+ablations  hardware-parameter ablation sweeps
+========   ==========================================================
+
+Each subcommand delegates to the existing module (``repro.sweep.cli``,
+``repro.fault``, ``repro.eval.profile``, ``repro.eval.make_report``,
+``repro.eval.figures``, ``repro.eval.ablations``); the old per-module
+entry points keep working and print a pointer here.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+_USAGE = """\
+usage: python -m repro <subcommand> [options]
+
+subcommands:
+  sweep      parallel benchmark sweep with persistent result cache
+  fault      crash-consistency fault-injection campaign
+  profile    workload characterisation tables
+  report     one-shot full evaluation report
+  figures    individual paper figures (fig8, fig9, ...)
+  ablations  hardware-parameter ablation sweeps
+
+`python -m repro <subcommand> --help` shows the subcommand's options.
+"""
+
+
+def _dispatch(command: str):
+    if command == "sweep":
+        from repro.sweep.cli import main
+    elif command == "fault":
+        from repro.fault.__main__ import main
+    elif command == "profile":
+        from repro.eval.profile import main
+    elif command == "report":
+        from repro.eval.make_report import main
+    elif command == "figures":
+        from repro.eval.figures import main
+    elif command == "ablations":
+        from repro.eval.ablations import main
+    else:
+        return None
+    return main
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args[0] in ("-h", "--help", "help"):
+        print(_USAGE, end="")
+        return 0
+    entry = _dispatch(args[0])
+    if entry is None:
+        print(f"unknown subcommand {args[0]!r}\n\n{_USAGE}", end="", file=sys.stderr)
+        return 2
+    return entry(args[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

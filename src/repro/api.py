@@ -1,0 +1,276 @@
+"""The public run API: one spec in, one result envelope out.
+
+Every runner in the repository — :class:`repro.eval.harness.EvalHarness`,
+the :mod:`repro.sweep` engine, the ablation sweeps, the fault campaign —
+describes a simulation by the same frozen :class:`RunSpec` and receives a
+:class:`RunResult`.  A spec is *content-addressable*: its
+:meth:`RunSpec.fingerprint` hashes every behaviour-affecting field plus a
+hash of the package's own source (:func:`code_version`), so two specs
+with equal fingerprints are guaranteed to simulate identically and a
+completed run can be memoised on disk (:mod:`repro.sweep.cache`).
+
+Legacy call sites keep working: :func:`repro.arch.system.run_workload`
+accepts a :class:`RunSpec` in place of a module, ``EvalHarness.run`` keeps
+its name/config signature, and :class:`repro.fault.campaign.CampaignConfig`
+gains :meth:`~repro.fault.campaign.CampaignConfig.from_spec`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.arch.params import SimParams
+from repro.arch.system import SystemMetrics, run_workload
+from repro.compiler import CapriCompiler, OptConfig
+
+#: Bump when the fingerprint schema itself changes shape.
+_FINGERPRINT_SCHEMA = 1
+
+_DEFAULT_MAX_STEPS = 50_000_000
+
+
+# ---------------------------------------------------------------------------
+# code version
+# ---------------------------------------------------------------------------
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Content hash of every ``.py`` file in the installed package.
+
+    Any source change — a compiler pass, a timing parameter, a workload
+    builder — yields a new version, which invalidates every cached result
+    (fingerprints embed this).  Overridable via ``REPRO_CODE_VERSION``
+    (tests use it to simulate version bumps).
+    """
+    env = os.environ.get("REPRO_CODE_VERSION")
+    if env:
+        return env
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        root = Path(__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+# ---------------------------------------------------------------------------
+# canonical serialisation (fingerprints must be stable across processes)
+# ---------------------------------------------------------------------------
+
+def _canon(value: Any) -> Any:
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out: Dict[str, Any] = {"__dataclass__": type(value).__name__}
+        for f in dataclasses.fields(value):
+            out[f.name] = _canon(getattr(value, f.name))
+        return out
+    if isinstance(value, enum.Enum):
+        return [type(value).__name__, value.value]
+    if isinstance(value, (list, tuple)):
+        return [_canon(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canon(v) for k, v in sorted(value.items())}
+    return value
+
+
+# ---------------------------------------------------------------------------
+# RunSpec
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-specified simulation: the repository's interchange type.
+
+    ``threshold``, ``params`` and ``persistence`` default to *derived*
+    (``None``): the effective values come from ``config`` /
+    ``SimParams.scaled()`` — see the ``effective_*`` properties.  ``label``
+    is presentational only and excluded from the fingerprint.
+    """
+
+    workload: str
+    scale: float = 1.0
+    config: OptConfig = OptConfig.licm()
+    threshold: Optional[int] = None
+    params: Optional[SimParams] = None
+    quantum: int = 32
+    persistence: Optional[bool] = None
+    seed: int = 0
+    threads: Optional[int] = None
+    max_steps: int = _DEFAULT_MAX_STEPS
+    label: str = ""
+
+    # -- effective (derived) values -----------------------------------------
+
+    @property
+    def effective_threshold(self) -> int:
+        return self.config.threshold if self.threshold is None else self.threshold
+
+    @property
+    def effective_params(self) -> SimParams:
+        return self.params if self.params is not None else SimParams.scaled()
+
+    @property
+    def effective_persistence(self) -> bool:
+        if self.persistence is None:
+            return self.config.instrumented
+        return self.persistence
+
+    @property
+    def effective_config(self) -> OptConfig:
+        """The compile configuration with any threshold override applied."""
+        if self.threshold is None or self.threshold == self.config.threshold:
+            return self.config
+        return self.config.with_threshold(self.threshold)
+
+    # -- derived specs -------------------------------------------------------
+
+    def baseline(self) -> "RunSpec":
+        """The volatile baseline this spec normalises against.
+
+        Seed and label are zeroed so instrumented specs differing only in
+        those share one baseline run.
+        """
+        return replace(
+            self,
+            config=OptConfig.volatile(),
+            threshold=None,
+            persistence=False,
+            seed=0,
+            label="baseline",
+        )
+
+    def with_(self, **kwargs) -> "RunSpec":
+        return replace(self, **kwargs)
+
+    # -- identity ------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Content address of this run: equal fingerprints ⇒ identical runs.
+
+        Hashes the *effective* values (so ``params=None`` and
+        ``params=SimParams.scaled()`` collide, as they must) plus
+        :func:`code_version`.
+        """
+        token = {
+            "schema": _FINGERPRINT_SCHEMA,
+            "code": code_version(),
+            "workload": self.workload,
+            "scale": float(self.scale),
+            "config": _canon(self.effective_config),
+            "threshold": self.effective_threshold,
+            "params": _canon(self.effective_params),
+            "quantum": self.quantum,
+            "persistence": self.effective_persistence,
+            "seed": self.seed,
+            "threads": self.threads,
+            "max_steps": self.max_steps,
+        }
+        blob = json.dumps(token, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def describe(self) -> str:
+        """Short human-readable identity for progress lines."""
+        bits = [self.workload, f"t{self.effective_threshold}"]
+        if not self.effective_persistence:
+            bits.append("volatile")
+        if self.label:
+            bits.append(self.label)
+        return ":".join(bits)
+
+
+# ---------------------------------------------------------------------------
+# RunResult
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RunResult:
+    """Envelope around one completed simulation."""
+
+    spec: RunSpec
+    metrics: SystemMetrics
+    fingerprint: str = ""
+    baseline_cycles: Optional[float] = None
+    wall_s: float = 0.0
+    from_cache: bool = False
+    machine: Any = dataclasses.field(default=None, repr=False, compare=False)
+
+    @property
+    def normalized_cycles(self) -> float:
+        """Execution cycles relative to the volatile baseline."""
+        if self.baseline_cycles is None:
+            raise ValueError("no baseline cycles attached to this result")
+        return self.metrics.exec_cycles / self.baseline_cycles
+
+    @property
+    def overhead_pct(self) -> float:
+        return (self.normalized_cycles - 1.0) * 100.0
+
+
+def metrics_to_dict(metrics: SystemMetrics) -> Dict[str, Any]:
+    """JSON-able form of :class:`SystemMetrics` (exact float round-trip)."""
+    return dataclasses.asdict(metrics)
+
+
+def metrics_from_dict(payload: Dict[str, Any]) -> SystemMetrics:
+    return SystemMetrics(**payload)
+
+
+# ---------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------
+
+def execute_spec(spec: RunSpec, keep_machine: bool = False) -> RunResult:
+    """Build, (maybe) compile, and simulate one :class:`RunSpec`.
+
+    The single run primitive behind the harness, the sweep engine's
+    workers, and the ``run_workload(RunSpec)`` shim.  Uninstrumented specs
+    skip the compiler entirely (the volatile-baseline convention).
+    """
+    from repro.workloads import get_workload
+
+    start = time.perf_counter()
+    workload = get_workload(spec.workload)
+    module, spawns = workload.build(spec.scale, threads=spec.threads)
+    config = spec.effective_config
+    if config.instrumented:
+        module = CapriCompiler(config).compile(module).module
+    metrics, machine = run_workload(
+        module,
+        spawns,
+        params=spec.effective_params,
+        threshold=spec.effective_threshold,
+        persistence=spec.effective_persistence,
+        quantum=spec.quantum,
+        max_steps=spec.max_steps,
+    )
+    return RunResult(
+        spec=spec,
+        metrics=metrics,
+        fingerprint=spec.fingerprint(),
+        wall_s=time.perf_counter() - start,
+        machine=machine if keep_machine else None,
+    )
+
+
+__all__ = [
+    "RunSpec",
+    "RunResult",
+    "code_version",
+    "execute_spec",
+    "metrics_to_dict",
+    "metrics_from_dict",
+]

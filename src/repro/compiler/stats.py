@@ -90,7 +90,10 @@ class RegionDynStats:
         lo = int(pos)
         hi = min(lo + 1, len(values) - 1)
         frac = pos - lo
-        return values[lo] * (1 - frac) + values[hi] * frac
+        # lerp via lo + frac*(hi-lo): exact at frac==0/1 and never escapes
+        # [values[lo], values[hi]] to float error, unlike the two-product
+        # form values[lo]*(1-frac) + values[hi]*frac.
+        return values[lo] + (values[hi] - values[lo]) * frac
 
     def histogram_instructions(self, bins: Sequence[int]) -> Dict[str, int]:
         """Counts of sampled regions per length bucket.

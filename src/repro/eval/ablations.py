@@ -16,9 +16,14 @@ each choice on our substrate — the "what if" companion to Figure 8:
 * :func:`inlining_ablation` — the extension pass: what call-boundary
   removal buys on call-dense code.
 
+Every sweep builds :class:`~repro.api.RunSpec` lists and routes them
+through the :mod:`repro.sweep` engine, so ``workers=N`` parallelises the
+grid and completed cells are served from the on-disk result cache.
+
 Command line::
 
     python -m repro.eval.ablations {frontend,proxybw,nvmbw,prevention,inlining,all}
+        [--workers N]
 """
 
 from __future__ import annotations
@@ -27,51 +32,33 @@ import argparse
 import sys
 from typing import Dict, List, Optional, Sequence
 
+from repro.api import RunResult, RunSpec
 from repro.arch.params import SimParams
-from repro.arch.system import run_workload
-from repro.compiler import CapriCompiler, OptConfig
+from repro.compiler import OptConfig
 from repro.eval.report import format_table
-from repro.workloads import get_workload
+from repro.workloads.probes import STREAM_PROBE
 
 #: Store-dense benchmarks stress the proxy pipeline hardest.
 DEFAULT_BENCHMARKS = ["519.lbm_r", "radix", "508.namd_r"]
 
-#: Named probe: pure streaming writes to distinct words.  The benchmark
-#: suite's recurring store addresses merge in the front-end proxy — an
-#: elastic relief valve (Section 5.2.1) that masks raw pipeline limits —
-#: so hardware-parameter sweeps use this merge-proof microkernel.
-STREAM_PROBE = "stream-write"
+
+def _sweep(specs: Sequence[RunSpec], workers: int) -> List[RunResult]:
+    """Run specs through the engine; raise on any failure."""
+    from repro.sweep.engine import SweepError, run_specs
+
+    report = run_specs(specs, workers=workers, cache="default")
+    if not report.ok:
+        raise SweepError(report)
+    return report.results
 
 
-def _stream_probe_module(trips: int = 4000):
-    from repro.ir import IRBuilder, verify_module
-
-    b = IRBuilder(STREAM_PROBE)
-    words = 8192
-    arr = b.module.alloc("arr", words)
-    with b.function("main") as f:
-        with f.for_range(trips) as i:
-            addr = f.add(arr, f.shl(f.and_(i, words - 1), 3))
-            f.store(i, addr)
-        f.ret()
-    verify_module(b.module)
-    return b.module, [("main", [])]
-
-
-def _build(name: str, scale: float):
-    if name == STREAM_PROBE:
-        return _stream_probe_module(trips=int(4000 * scale))
-    return get_workload(name).build(scale)
-
-
-def _run(name: str, params: SimParams, config: OptConfig, scale: float):
-    module, spawns = _build(name, scale)
-    compiled = CapriCompiler(config).compile(module).module
-    metrics, _ = run_workload(
-        compiled, spawns, params=params, threshold=config.threshold
-    )
-    base, _ = run_workload(module, spawns, params=params, persistence=False)
-    return metrics, metrics.exec_cycles / base.exec_cycles
+def _cells_from(
+    specs: Sequence[RunSpec], results: Sequence[RunResult]
+) -> Dict[str, Dict[str, float]]:
+    cells: Dict[str, Dict[str, float]] = {}
+    for spec, result in zip(specs, results):
+        cells.setdefault(spec.workload, {})[spec.label] = result.normalized_cycles
+    return cells
 
 
 def frontend_size_sweep(
@@ -79,6 +66,7 @@ def frontend_size_sweep(
     benchmarks: Sequence[str] = (STREAM_PROBE, *DEFAULT_BENCHMARKS),
     scale: float = 0.5,
     threshold: int = 256,
+    workers: int = 0,
 ) -> Dict[str, Dict[str, float]]:
     """Normalised cycles vs front-end proxy entries (paper default: 32).
 
@@ -86,16 +74,20 @@ def frontend_size_sweep(
     path bandwidth even a handful of entries absorbs store bursts, which
     is itself the finding: the paper's 32-entry front end is generous.
     """
-    cells: Dict[str, Dict[str, float]] = {}
-    for name in benchmarks:
-        cells[name] = {}
-        for size in sizes:
-            params = SimParams.scaled().with_(
+    specs = [
+        RunSpec(
+            workload=name,
+            scale=scale,
+            config=OptConfig.licm(threshold),
+            params=SimParams.scaled().with_(
                 frontend_entries=size, proxy_xfer_ns=8.0
-            )
-            _, norm = _run(name, params, OptConfig.licm(threshold), scale)
-            cells[name][str(size)] = norm
-    return cells
+            ),
+            label=str(size),
+        )
+        for name in benchmarks
+        for size in sizes
+    ]
+    return _cells_from(specs, _sweep(specs, workers))
 
 
 def proxy_bandwidth_sweep(
@@ -103,16 +95,21 @@ def proxy_bandwidth_sweep(
     benchmarks: Sequence[str] = (STREAM_PROBE, *DEFAULT_BENCHMARKS),
     scale: float = 0.5,
     threshold: int = 256,
+    workers: int = 0,
 ) -> Dict[str, Dict[str, float]]:
     """Normalised cycles vs proxy-path initiation interval per entry."""
-    cells: Dict[str, Dict[str, float]] = {}
-    for name in benchmarks:
-        cells[name] = {}
-        for interval in intervals_ns:
-            params = SimParams.scaled().with_(proxy_xfer_ns=interval)
-            _, norm = _run(name, params, OptConfig.licm(threshold), scale)
-            cells[name][f"{interval}ns"] = norm
-    return cells
+    specs = [
+        RunSpec(
+            workload=name,
+            scale=scale,
+            config=OptConfig.licm(threshold),
+            params=SimParams.scaled().with_(proxy_xfer_ns=interval),
+            label=f"{interval}ns",
+        )
+        for name in benchmarks
+        for interval in intervals_ns
+    ]
+    return _cells_from(specs, _sweep(specs, workers))
 
 
 def nvm_bandwidth_sweep(
@@ -120,22 +117,28 @@ def nvm_bandwidth_sweep(
     benchmarks: Sequence[str] = (STREAM_PROBE, *DEFAULT_BENCHMARKS),
     scale: float = 0.5,
     threshold: int = 256,
+    workers: int = 0,
 ) -> Dict[str, Dict[str, float]]:
     """Normalised cycles vs effective NVM write parallelism."""
-    cells: Dict[str, Dict[str, float]] = {}
-    for name in benchmarks:
-        cells[name] = {}
-        for p in parallelism:
-            params = SimParams.scaled().with_(nvm_write_parallelism=p)
-            _, norm = _run(name, params, OptConfig.licm(threshold), scale)
-            cells[name][f"x{p}"] = norm
-    return cells
+    specs = [
+        RunSpec(
+            workload=name,
+            scale=scale,
+            config=OptConfig.licm(threshold),
+            params=SimParams.scaled().with_(nvm_write_parallelism=p),
+            label=f"x{p}",
+        )
+        for name in benchmarks
+        for p in parallelism
+    ]
+    return _cells_from(specs, _sweep(specs, workers))
 
 
 def prevention_cost(
     benchmarks: Sequence[str] = tuple(DEFAULT_BENCHMARKS),
     scale: float = 0.5,
     threshold: int = 64,
+    workers: int = 0,
 ) -> Dict[str, Dict[str, float]]:
     """Stale-read prevention on/off: cycles, skipped redos, stale reads.
 
@@ -148,16 +151,25 @@ def prevention_cost(
         dram_cache_size_bytes=1024,
         nvm_write_parallelism=8,
     )
+    specs = [
+        RunSpec(
+            workload=name,
+            scale=scale,
+            config=OptConfig.licm(threshold),
+            params=tiny.with_(stale_read_prevention=prevention),
+            label="on" if prevention else "off",
+        )
+        for name in benchmarks
+        for prevention in (True, False)
+    ]
+    results = _sweep(specs, workers)
     cells: Dict[str, Dict[str, float]] = {}
-    for name in benchmarks:
-        cells[name] = {}
-        for prevention in (True, False):
-            params = tiny.with_(stale_read_prevention=prevention)
-            metrics, norm = _run(name, params, OptConfig.licm(threshold), scale)
-            tag = "on" if prevention else "off"
-            cells[name][f"cycles_{tag}"] = norm
-            cells[name][f"skipped_{tag}"] = float(metrics.nvm_writes_skipped)
-            cells[name][f"stale_{tag}"] = float(metrics.stale_reads)
+    for spec, result in zip(specs, results):
+        row = cells.setdefault(spec.workload, {})
+        tag = spec.label
+        row[f"cycles_{tag}"] = result.normalized_cycles
+        row[f"skipped_{tag}"] = float(result.metrics.nvm_writes_skipped)
+        row[f"stale_{tag}"] = float(result.metrics.stale_reads)
     return cells
 
 
@@ -165,15 +177,23 @@ def inlining_ablation(
     benchmarks: Sequence[str] = ("oskernel", "531.deepsjeng_r", "genome"),
     scale: float = 0.5,
     threshold: int = 256,
+    workers: int = 0,
 ) -> Dict[str, Dict[str, float]]:
     """Full Capri vs full Capri + small-function inlining (extension)."""
-    cells: Dict[str, Dict[str, float]] = {}
-    params = SimParams.scaled()
-    for name in benchmarks:
-        _, base = _run(name, params, OptConfig.licm(threshold), scale)
-        _, inl = _run(name, params, OptConfig.inlined(threshold), scale)
-        cells[name] = {"full": base, "+inlining": inl}
-    return cells
+    specs = [
+        RunSpec(
+            workload=name,
+            scale=scale,
+            config=config,
+            label=label,
+        )
+        for name in benchmarks
+        for label, config in (
+            ("full", OptConfig.licm(threshold)),
+            ("+inlining", OptConfig.inlined(threshold)),
+        )
+    ]
+    return _cells_from(specs, _sweep(specs, workers))
 
 
 def core_scaling(
@@ -181,6 +201,7 @@ def core_scaling(
     benchmarks: Sequence[str] = ("ocean", "radix", "water-nsquared"),
     scale: float = 0.5,
     threshold: int = 256,
+    workers: int = 0,
 ) -> Dict[str, Dict[str, float]]:
     """Capri overhead vs core count for the multi-threaded suite.
 
@@ -188,24 +209,18 @@ def core_scaling(
     while the NVM write port is shared, so overhead should stay roughly
     flat with core count unless the write port saturates.
     """
-    cells: Dict[str, Dict[str, float]] = {}
-    params = SimParams.scaled()
-    for name in benchmarks:
-        workload = get_workload(name)
-        cells[name] = {}
-        for t in threads:
-            module, spawns = workload.build(scale, threads=t)
-            compiled = CapriCompiler(
-                OptConfig.licm(threshold)
-            ).compile(module).module
-            metrics, _ = run_workload(
-                compiled, spawns, params=params, threshold=threshold
-            )
-            base, _ = run_workload(
-                module, spawns, params=params, persistence=False
-            )
-            cells[name][f"{t}c"] = metrics.exec_cycles / base.exec_cycles
-    return cells
+    specs = [
+        RunSpec(
+            workload=name,
+            scale=scale,
+            config=OptConfig.licm(threshold),
+            threads=t,
+            label=f"{t}c",
+        )
+        for name in benchmarks
+        for t in threads
+    ]
+    return _cells_from(specs, _sweep(specs, workers))
 
 
 _ABLATIONS = {
@@ -240,11 +255,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(prog="repro.eval.ablations")
     parser.add_argument("ablation", choices=[*_ABLATIONS, "all"])
     parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument("--workers", type=int, default=0,
+                        help="sweep-engine worker processes (0 = serial)")
     args = parser.parse_args(argv)
     names = list(_ABLATIONS) if args.ablation == "all" else [args.ablation]
     for name in names:
         fn, title = _ABLATIONS[name]
-        cells = fn(scale=args.scale)
+        cells = fn(scale=args.scale, workers=args.workers)
         rows = list(cells.keys())
         columns: List[str] = list(next(iter(cells.values())).keys())
         print(format_table(title, rows, columns, cells))
@@ -253,4 +270,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 if __name__ == "__main__":
+    print(
+        "note: `python -m repro ablations …` is the consolidated entry point",
+        file=sys.stderr,
+    )
     sys.exit(main())

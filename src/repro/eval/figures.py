@@ -55,17 +55,21 @@ def fig8(
     suite: Optional[str] = None,
     thresholds: Sequence[int] = tuple(FIG8_THRESHOLDS),
     harness: Optional[EvalHarness] = None,
+    workers: int = 0,
 ) -> Dict[str, Dict[str, float]]:
-    """Figure 8: normalised cycles vs region store threshold."""
+    """Figure 8: normalised cycles vs region store threshold.
+
+    Routed through the :mod:`repro.sweep` engine: ``workers`` fans the
+    (benchmark × threshold) grid out across processes, and completed
+    cells are memoised in the on-disk result cache.
+    """
     h = harness or _harness(scale)
-    cells: Dict[str, Dict[str, float]] = {}
-    columns = [str(t) for t in thresholds]
-    for name in _benchmarks(suite):
-        cells[name] = {}
-        for threshold in thresholds:
-            result = h.run(name, OptConfig.licm(threshold), f"t{threshold}")
-            cells[name][str(threshold)] = result.normalized_cycles
-    return cells
+    configs = {str(t): OptConfig.licm(t) for t in thresholds}
+    table = h.sweep(_benchmarks(suite), configs, workers=workers)
+    return {
+        name: {label: r.normalized_cycles for label, r in row.items()}
+        for name, row in table.items()
+    }
 
 
 def fig9(
@@ -73,17 +77,18 @@ def fig9(
     suite: Optional[str] = None,
     threshold: int = 256,
     harness: Optional[EvalHarness] = None,
+    workers: int = 0,
 ) -> Dict[str, Dict[str, float]]:
-    """Figure 9: normalised cycles, accumulative compiler optimisations."""
+    """Figure 9: normalised cycles, accumulative compiler optimisations.
+
+    Routed through the :mod:`repro.sweep` engine (see :func:`fig8`).
+    """
     h = harness or _harness(scale)
-    ladder = OptConfig.ladder(threshold)
-    cells: Dict[str, Dict[str, float]] = {}
-    for name in _benchmarks(suite):
-        cells[name] = {}
-        for label, config in ladder.items():
-            result = h.run(name, config, label)
-            cells[name][label] = result.normalized_cycles
-    return cells
+    table = h.sweep(_benchmarks(suite), OptConfig.ladder(threshold), workers=workers)
+    return {
+        name: {label: r.normalized_cycles for label, r in row.items()}
+        for name, row in table.items()
+    }
 
 
 def _region_stat_figure(
@@ -93,6 +98,8 @@ def _region_stat_figure(
     threshold: int,
     harness: Optional[EvalHarness] = None,
 ) -> Dict[str, Dict[str, float]]:
+    # Region-statistic collection needs the in-process observer, so these
+    # figures stay serial regardless of --workers.
     h = harness or _harness(scale)
     ladder = OptConfig.ladder(threshold)
     cells: Dict[str, Dict[str, float]] = {}
@@ -110,8 +117,9 @@ def fig10(
     suite: Optional[str] = None,
     threshold: int = 256,
     harness: Optional[EvalHarness] = None,
+    workers: int = 0,
 ) -> Dict[str, Dict[str, float]]:
-    """Figure 10: average dynamic instructions per region."""
+    """Figure 10: average dynamic instructions per region (always serial)."""
     return _region_stat_figure("avg_instructions", scale, suite, threshold, harness)
 
 
@@ -120,8 +128,9 @@ def fig11(
     suite: Optional[str] = None,
     threshold: int = 256,
     harness: Optional[EvalHarness] = None,
+    workers: int = 0,
 ) -> Dict[str, Dict[str, float]]:
-    """Figure 11: average dynamic stores (incl. checkpoints) per region."""
+    """Figure 11: average dynamic stores (incl. checkpoints) per region (serial)."""
     return _region_stat_figure("avg_stores", scale, suite, threshold, harness)
 
 
@@ -194,12 +203,13 @@ def render_figure(
     scale: float = 1.0,
     suite: Optional[str] = None,
     chart: bool = False,
+    workers: int = 0,
 ) -> str:
     """Run one figure and render its paper-style table (or bar chart)."""
     from repro.eval.report import render_bars
 
     fn, columns, title = _FIGS[fig]
-    cells = fn(scale=scale, suite=suite)
+    cells = fn(scale=scale, suite=suite, workers=workers)
     suites = (
         FIGURE_SUITES if suite is None else {suite: FIGURE_SUITES[suite]}
     )
@@ -225,6 +235,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--suite", choices=list(FIGURE_SUITES), default=None)
     parser.add_argument("--chart", action="store_true",
                         help="render bar charts instead of tables")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="sweep-engine worker processes (0 = serial)")
     args = parser.parse_args(argv)
 
     figures = list(_FIGS) if args.figure == "all" else [args.figure]
@@ -253,11 +265,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             ))
         else:
             print(render_figure(
-                fig, scale=args.scale, suite=args.suite, chart=args.chart
+                fig, scale=args.scale, suite=args.suite, chart=args.chart,
+                workers=args.workers,
             ))
         print()
     return 0
 
 
 if __name__ == "__main__":
+    print(
+        "note: `python -m repro figures …` is the consolidated entry point",
+        file=sys.stderr,
+    )
     sys.exit(main())

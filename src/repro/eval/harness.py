@@ -4,16 +4,23 @@ One :class:`EvalHarness` owns the methodology of Section 6.1 translated to
 our substrate: every benchmark runs uninstrumented once per parameter set
 (the volatile baseline) and instrumented once per (config, threshold);
 results are normalised execution cycles plus compiler/persistence
-statistics.  Baselines are cached, and the paper's convention of
-*excluding* boundary and checkpoint instructions from the instruction
-budget is honoured by normalising cycles rather than instruction counts.
+statistics.  Baselines are cached *by RunSpec fingerprint* — mutating
+``scale``/``params``/``quantum`` on a live harness gets fresh baselines,
+never a stale name-keyed hit — and the paper's convention of *excluding*
+boundary and checkpoint instructions from the instruction budget is
+honoured by normalising cycles rather than instruction counts.
+
+Cross-product runs go through :meth:`EvalHarness.sweep`, which delegates
+to the :mod:`repro.sweep` engine: configurable worker pool, on-disk
+memoisation of completed runs, structured progress.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Union
 
+from repro.api import RunResult, RunSpec
 from repro.arch.params import SimParams
 from repro.arch.system import SystemMetrics, run_workload
 from repro.compiler import CapriCompiler, OptConfig
@@ -56,13 +63,38 @@ class EvalHarness:
         self.params = params or SimParams.scaled()
         self.scale = scale
         self.quantum = quantum
+        #: baseline fingerprint -> volatile exec cycles.
         self._baseline_cache: Dict[str, float] = {}
+        #: the engine report from the most recent :meth:`sweep` call.
+        self.last_sweep_report = None
+
+    # -- specs --------------------------------------------------------------
+
+    def spec(
+        self, name: str, config: Optional[OptConfig] = None, label: str = ""
+    ) -> RunSpec:
+        """A :class:`RunSpec` for ``name`` under this harness's settings."""
+        return RunSpec(
+            workload=name,
+            scale=self.scale,
+            config=config if config is not None else OptConfig.licm(),
+            params=self.params,
+            quantum=self.quantum,
+            label=label,
+        )
 
     # -- baseline -----------------------------------------------------------
 
     def baseline_cycles(self, name: str) -> float:
-        """Volatile (uninstrumented, no persistence) execution cycles."""
-        cached = self._baseline_cache.get(name)
+        """Volatile (uninstrumented, no persistence) execution cycles.
+
+        Keyed by the baseline spec's fingerprint, so the cache survives —
+        correctly — mutation of ``scale``/``params``/``quantum`` between
+        calls (each combination gets its own entry).
+        """
+        spec = self.spec(name).baseline()
+        key = spec.fingerprint()
+        cached = self._baseline_cache.get(key)
         if cached is not None:
             return cached
         workload = get_workload(name)
@@ -74,7 +106,7 @@ class EvalHarness:
             persistence=False,
             quantum=self.quantum,
         )
-        self._baseline_cache[name] = metrics.exec_cycles
+        self._baseline_cache[key] = metrics.exec_cycles
         return metrics.exec_cycles
 
     # -- instrumented runs ------------------------------------------------------
@@ -118,6 +150,84 @@ class EvalHarness:
             baseline_cycles=self.baseline_cycles(name),
             region_stats=region_stats,
         )
+
+    def run_spec(self, spec: RunSpec) -> RunResult:
+        """Execute one :class:`RunSpec` (the new-API twin of :meth:`run`).
+
+        The result carries baseline cycles from this harness's
+        fingerprint-keyed cache, so ``normalized_cycles`` works.
+        """
+        from repro.api import execute_spec
+
+        result = execute_spec(spec)
+        base = spec.baseline()
+        key = base.fingerprint()
+        if key not in self._baseline_cache:
+            if spec.effective_persistence:
+                self._baseline_cache[key] = execute_spec(base).metrics.exec_cycles
+            else:
+                self._baseline_cache[key] = result.metrics.exec_cycles
+        result.baseline_cycles = self._baseline_cache[key]
+        return result
+
+    # -- sweeps ------------------------------------------------------------
+
+    def sweep(
+        self,
+        names: Sequence[str],
+        configs: Mapping[str, OptConfig],
+        workers: int = 0,
+        cache: Union[str, None, bool, object] = "default",
+        progress=None,
+        strict: bool = True,
+        timeout_s: Optional[float] = None,
+    ) -> Dict[str, Dict[str, BenchmarkResult]]:
+        """Run ``names`` × ``configs`` through the sweep engine.
+
+        ``configs`` maps display label -> :class:`OptConfig`.  ``workers=0``
+        is serial in-process; ``workers=N`` fans out over N processes.
+        ``cache="default"`` memoises on disk under
+        :func:`repro.sweep.cache.default_cache_dir` (``REPRO_CACHE_DIR``
+        overrides); pass ``None`` to disable.  Returns
+        ``{name: {label: BenchmarkResult}}``; the engine's
+        :class:`~repro.sweep.engine.SweepReport` (per-spec status,
+        wall-clock, cache counters) lands on :attr:`last_sweep_report`.
+        """
+        from repro.sweep.engine import SweepError, run_specs
+
+        specs = [
+            self.spec(name, config, label=label)
+            for name in names
+            for label, config in configs.items()
+        ]
+        report = run_specs(
+            specs,
+            workers=workers,
+            cache=cache,
+            progress=progress,
+            timeout_s=timeout_s,
+        )
+        self.last_sweep_report = report
+        if strict and not report.ok:
+            raise SweepError(report)
+
+        table: Dict[str, Dict[str, BenchmarkResult]] = {}
+        for spec, result in zip(specs, report.results):
+            if result is None:
+                continue
+            table.setdefault(spec.workload, {})[spec.label] = BenchmarkResult(
+                name=spec.workload,
+                suite=get_workload(spec.workload).suite,
+                config_label=spec.label,
+                threshold=spec.effective_threshold,
+                metrics=result.metrics,
+                baseline_cycles=result.baseline_cycles,
+            )
+            # Share the engine's baselines with the serial path.
+            key = spec.baseline().fingerprint()
+            if result.baseline_cycles is not None:
+                self._baseline_cache.setdefault(key, result.baseline_cycles)
+        return table
 
     # -- robustness ---------------------------------------------------------
 

@@ -34,8 +34,14 @@ def _md_block(text: str) -> str:
     return "```\n" + text + "\n```\n"
 
 
-def generate_report(scale: float = 1.0) -> str:
-    """Build the full markdown report; heavy (runs every experiment)."""
+def generate_report(scale: float = 1.0, workers: int = 0) -> str:
+    """Build the full markdown report; heavy (runs every experiment).
+
+    ``workers`` fans the figure grids and ablation sweeps out through the
+    :mod:`repro.sweep` engine; completed runs are memoised in the on-disk
+    result cache, so regenerating a report after small code changes only
+    re-simulates what the change invalidated.
+    """
     start = time.time()
     parts: List[str] = [
         "# Capri reproduction — full evaluation report",
@@ -50,7 +56,9 @@ def generate_report(scale: float = 1.0) -> str:
     for fig in ["fig8", "fig9", "fig10", "fig11"]:
         parts.append(f"## {fig}")
         parts.append(f"`python -m repro.eval.figures {fig} --scale {scale}`")
-        parts.append(_md_block(figures.render_figure(fig, scale=scale)))
+        parts.append(
+            _md_block(figures.render_figure(fig, scale=scale, workers=workers))
+        )
 
     parts.append("## headline")
     parts.append(f"`python -m repro.eval.figures headline --scale {scale}`")
@@ -79,11 +87,16 @@ def generate_report(scale: float = 1.0) -> str:
 
     parts.append("## extension analyses")
     parts.append("`python -m repro.eval.ablations nvmbw|prevention|inlining|cores`")
+    ablation_scale = min(scale, 0.5)
     for title, cells in [
-        ("NVM write parallelism", nvm_bandwidth_sweep(scale=min(scale, 0.5))),
-        ("Stale-read prevention", prevention_cost(scale=min(scale, 0.5))),
-        ("Inlining extension", inlining_ablation(scale=min(scale, 0.5))),
-        ("Core-count scaling", core_scaling(scale=min(scale, 0.5))),
+        ("NVM write parallelism",
+         nvm_bandwidth_sweep(scale=ablation_scale, workers=workers)),
+        ("Stale-read prevention",
+         prevention_cost(scale=ablation_scale, workers=workers)),
+        ("Inlining extension",
+         inlining_ablation(scale=ablation_scale, workers=workers)),
+        ("Core-count scaling",
+         core_scaling(scale=ablation_scale, workers=workers)),
     ]:
         rows = list(cells.keys())
         columns = list(next(iter(cells.values())).keys())
@@ -130,8 +143,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(prog="repro.eval.make_report")
     parser.add_argument("--out", default="results/REPORT.md")
     parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--workers", type=int, default=0,
+                        help="sweep-engine worker processes (0 = serial)")
     args = parser.parse_args(argv)
-    report = generate_report(scale=args.scale)
+    report = generate_report(scale=args.scale, workers=args.workers)
     os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
     with open(args.out, "w") as fh:
         fh.write(report)
@@ -140,4 +155,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 if __name__ == "__main__":
+    print(
+        "note: `python -m repro report …` is the consolidated entry point",
+        file=sys.stderr,
+    )
     sys.exit(main())

@@ -188,4 +188,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 if __name__ == "__main__":
+    print(
+        "note: `python -m repro profile …` is the consolidated entry point",
+        file=sys.stderr,
+    )
     sys.exit(main())

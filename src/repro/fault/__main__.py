@@ -98,4 +98,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 if __name__ == "__main__":
+    print(
+        "note: `python -m repro fault …` is the consolidated entry point",
+        file=sys.stderr,
+    )
     sys.exit(main())

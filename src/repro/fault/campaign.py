@@ -66,6 +66,24 @@ class CampaignConfig:
     max_steps: int = 50_000_000
     params: Optional[SimParams] = None
 
+    @classmethod
+    def from_spec(cls, spec, **overrides) -> "CampaignConfig":
+        """Derive campaign knobs from a :class:`repro.api.RunSpec`.
+
+        The spec's threshold/quantum/params/seed/max_steps carry over;
+        campaign-only knobs (models, strictness, sampling) come from
+        ``overrides`` or the defaults.
+        """
+        base = dict(
+            threshold=spec.effective_threshold,
+            quantum=spec.quantum,
+            seed=spec.seed or cls.seed,
+            max_steps=spec.max_steps,
+            params=spec.params,
+        )
+        base.update(overrides)
+        return cls(**base)
+
 
 @dataclass
 class CrashOutcome:
@@ -261,13 +279,19 @@ def run_campaign(
     spawns: Sequence[Tuple[str, Sequence[int]]],
     config: Optional[CampaignConfig] = None,
     name: str = "<module>",
+    golden: Optional[GoldenResult] = None,
 ) -> CampaignResult:
-    """Sweep crash points over an already-compiled module."""
+    """Sweep crash points over an already-compiled module.
+
+    ``golden`` lets callers supply a precomputed (e.g. cache-served)
+    golden run; by default it is recomputed here.
+    """
     config = config or CampaignConfig()
     models = get_models(config.models)
-    golden = golden_run(
-        module, spawns, quantum=config.quantum, max_steps=config.max_steps
-    )
+    if golden is None:
+        golden = golden_run(
+            module, spawns, quantum=config.quantum, max_steps=config.max_steps
+        )
     points = select_crash_points(
         golden.total_events, config.sample, config.seed
     )
@@ -308,19 +332,73 @@ def run_campaign(
     return result
 
 
+def _golden_from_cache(payload) -> GoldenResult:
+    return GoldenResult(
+        data={int(addr): value for addr, value in payload["data"].items()},
+        io_log=[tuple(event) for event in payload["io_log"]],
+        total_events=payload["total_events"],
+    )
+
+
+def _golden_to_cache(golden: GoldenResult) -> dict:
+    return {
+        "kind": "golden",
+        "data": {str(addr): value for addr, value in golden.data.items()},
+        "io_log": [list(event) for event in golden.io_log],
+        "total_events": golden.total_events,
+    }
+
+
 def run_workload_campaign(
-    workload_name: str,
+    workload,
     config: Optional[CampaignConfig] = None,
     scale: float = 0.3,
+    cache="default",
 ) -> CampaignResult:
-    """Build a registry workload, compile it with Capri, and sweep it."""
+    """Build a registry workload, compile it with Capri, and sweep it.
+
+    ``workload`` is a registry name or a :class:`repro.api.RunSpec` (in
+    which case its workload/scale/threshold/quantum seed the campaign).
+    The per-workload *golden run* is memoised in the sweep result cache
+    under the spec's fingerprint (``golden`` namespace) — warm fault
+    campaigns skip straight to crash injection.  Pass ``cache=None`` to
+    disable.
+    """
+    from repro.api import RunSpec
     from repro.compiler import CapriCompiler, OptConfig
+    from repro.sweep.cache import resolve_cache
     from repro.workloads import get_workload
 
-    config = config or CampaignConfig()
-    workload = get_workload(workload_name)
-    module, spawns = workload.build(scale)
+    if isinstance(workload, RunSpec):
+        spec = workload
+        config = config or CampaignConfig.from_spec(spec)
+        workload_name, scale = spec.workload, spec.scale
+    else:
+        workload_name = workload
+        config = config or CampaignConfig()
+        spec = RunSpec(
+            workload=workload_name,
+            scale=scale,
+            config=OptConfig.licm(config.threshold),
+            quantum=config.quantum,
+            max_steps=config.max_steps,
+        )
+    module, spawns = get_workload(workload_name).build(scale)
     compiled = (
         CapriCompiler(OptConfig.licm(config.threshold)).compile(module).module
     )
-    return run_campaign(compiled, spawns, config, name=workload_name)
+
+    golden: Optional[GoldenResult] = None
+    store = resolve_cache(cache)
+    fingerprint = spec.fingerprint()
+    if store is not None:
+        payload = store.get(fingerprint, kind="golden")
+        if payload is not None and "total_events" in payload:
+            golden = _golden_from_cache(payload)
+    if golden is None:
+        golden = golden_run(
+            compiled, spawns, quantum=config.quantum, max_steps=config.max_steps
+        )
+        if store is not None:
+            store.put(fingerprint, _golden_to_cache(golden), kind="golden")
+    return run_campaign(compiled, spawns, config, name=workload_name, golden=golden)

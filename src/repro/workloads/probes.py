@@ -1,0 +1,38 @@
+"""Merge-proof microkernel probes for hardware-parameter sweeps.
+
+The benchmark suite's recurring store addresses merge in the front-end
+proxy — an elastic relief valve (Section 5.2.1) that masks raw pipeline
+limits — so the ablation sweeps use these probes instead.  They live in
+the workload registry (under the ``probe`` suite, excluded from the
+figure suites) so that any runner that resolves workloads *by name* —
+in particular the :mod:`repro.sweep` worker processes — can build them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.ir.module import Module
+
+#: Registry name of the streaming-write probe.
+STREAM_PROBE = "stream-write"
+
+
+def build_stream_probe(
+    scale: float = 1.0, trips: int = None
+) -> Tuple[Module, List[Tuple[str, Sequence[int]]]]:
+    """Pure streaming writes to distinct words (no proxy merging possible)."""
+    from repro.ir import IRBuilder, verify_module
+
+    if trips is None:
+        trips = int(4000 * scale)
+    b = IRBuilder(STREAM_PROBE)
+    words = 8192
+    arr = b.module.alloc("arr", words)
+    with b.function("main") as f:
+        with f.for_range(trips) as i:
+            addr = f.add(arr, f.shl(f.and_(i, words - 1), 3))
+            f.store(i, addr)
+        f.ret()
+    verify_module(b.module)
+    return b.module, [("main", [])]

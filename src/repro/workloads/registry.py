@@ -9,7 +9,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.ir.module import Module
-from repro.workloads import oskernel, spec, splash, stamp
+from repro.workloads import oskernel, probes, spec, splash, stamp
 
 Spawns = List[Tuple[str, Sequence[int]]]
 
@@ -105,6 +105,12 @@ _register("water-spatial", "splash3", splash.build_water_spatial, multithreaded=
 _register("radix", "splash3", splash.build_radix, multithreaded=True)
 
 _register("oskernel", "os", oskernel.build_oskernel)
+
+# Hardware-parameter probes: resolvable by name (the sweep engine's
+# worker processes build workloads by registry name) but deliberately
+# absent from SUITES, so the figure suites and ``workload_names`` are
+# unchanged.
+_register("stream-write", "probe", probes.build_stream_probe)
 
 
 def get_workload(name: str) -> Workload:

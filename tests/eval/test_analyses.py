@@ -5,13 +5,13 @@ import pytest
 from repro.arch.params import SimParams
 from repro.eval.ablations import (
     STREAM_PROBE,
-    _stream_probe_module,
     frontend_size_sweep,
     inlining_ablation,
     main as ablations_main,
     nvm_bandwidth_sweep,
     prevention_cost,
 )
+from repro.workloads.probes import build_stream_probe
 from repro.eval.energy import ENTRY_BYTES, drain_budgets, main as energy_main
 from repro.eval.recovery_analysis import (
     analyze_recovery,
@@ -26,7 +26,7 @@ class TestStreamProbe:
         from repro.ir import verify_module
         from repro.isa import Machine, CountingObserver
 
-        module, spawns = _stream_probe_module(trips=100)
+        module, spawns = build_stream_probe(trips=100)
         verify_module(module)
         m = Machine(module)
         obs = CountingObserver()
@@ -39,7 +39,7 @@ class TestStreamProbe:
         from repro.arch.system import run_workload
         from repro.compiler import CapriCompiler, OptConfig
 
-        module, spawns = _stream_probe_module(trips=200)
+        module, spawns = build_stream_probe(trips=200)
         capri = CapriCompiler(OptConfig.licm(256)).compile(module).module
         metrics, _ = run_workload(capri, spawns, threshold=256)
         assert metrics.proxy_merged == 0

@@ -35,7 +35,21 @@ class TestHarness:
     def test_baseline_cached(self, harness):
         first = harness.baseline_cycles("ssca2")
         assert harness.baseline_cycles("ssca2") == first
-        assert "ssca2" in harness._baseline_cache
+        key = harness.spec("ssca2").baseline().fingerprint()
+        assert key in harness._baseline_cache
+
+    def test_baseline_cache_not_stale_after_mutation(self):
+        """The footgun: name-keyed caching served stale cycles after a
+        live harness's scale/params/quantum changed.  Fingerprint keying
+        gets a fresh baseline per combination."""
+        h = EvalHarness(params=SimParams.scaled(), scale=TINY)
+        small = h.baseline_cycles("ssca2")
+        h.scale = TINY * 4
+        large = h.baseline_cycles("ssca2")
+        assert large > small
+        h.scale = TINY
+        assert h.baseline_cycles("ssca2") == small
+        assert len(h._baseline_cache) == 2
 
     def test_run_produces_normalized_cycles(self, harness):
         result = harness.run("ssca2", OptConfig.licm(64), "full")

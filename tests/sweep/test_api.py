@@ -1,0 +1,182 @@
+"""Tests for the repro.api facade: RunSpec, fingerprints, shims."""
+
+import dataclasses
+
+import pytest
+
+from repro.api import (
+    RunSpec,
+    code_version,
+    execute_spec,
+    metrics_from_dict,
+    metrics_to_dict,
+)
+from repro.arch.params import PersistMode, SimParams
+from repro.arch.system import run_workload
+from repro.compiler import OptConfig
+
+TINY = 0.05
+
+
+def spec(**kw) -> RunSpec:
+    base = dict(workload="ssca2", scale=TINY, config=OptConfig.licm(64))
+    base.update(kw)
+    return RunSpec(**base)
+
+
+class TestRunSpec:
+    def test_frozen(self):
+        s = spec()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            s.scale = 1.0
+
+    def test_effective_defaults(self):
+        s = spec()
+        assert s.effective_threshold == 64
+        assert s.effective_params == SimParams.scaled()
+        assert s.effective_persistence is True
+        assert spec(config=OptConfig.volatile()).effective_persistence is False
+
+    def test_threshold_override_rewrites_config(self):
+        s = spec(threshold=32)
+        assert s.effective_threshold == 32
+        assert s.effective_config.threshold == 32
+        assert s.effective_config.licm_opt  # still full Capri
+
+    def test_baseline_spec(self):
+        base = spec(seed=7, label="x").baseline()
+        assert base.effective_persistence is False
+        assert not base.config.instrumented
+        assert base.seed == 0 and base.label == "baseline"
+        assert base.workload == "ssca2" and base.scale == TINY
+
+
+class TestFingerprint:
+    def test_stable_and_derived_defaults_collide(self):
+        assert spec().fingerprint() == spec().fingerprint()
+        # None params/threshold hash like their effective values.
+        assert (
+            spec(params=SimParams.scaled()).fingerprint() == spec().fingerprint()
+        )
+        assert spec(threshold=64).fingerprint() == spec().fingerprint()
+
+    def test_label_is_presentational(self):
+        assert spec(label="a").fingerprint() == spec(label="b").fingerprint()
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            dict(workload="genome"),
+            dict(scale=TINY * 2),
+            dict(config=OptConfig.licm(32)),
+            dict(config=OptConfig.ckpt(64)),
+            dict(threshold=32),
+            dict(params=SimParams.scaled().with_(nvm_write_ns=301.0)),
+            dict(params=SimParams.scaled().with_(persist_mode=PersistMode.SYNC)),
+            dict(quantum=16),
+            dict(persistence=False),
+            dict(seed=1),
+            dict(threads=2),
+            dict(max_steps=1000),
+        ],
+    )
+    def test_any_field_change_misses(self, change):
+        assert spec(**change).fingerprint() != spec().fingerprint()
+
+    def test_code_version_bump_invalidates(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CODE_VERSION", "v1")
+        fp1 = spec().fingerprint()
+        monkeypatch.setenv("REPRO_CODE_VERSION", "v2")
+        assert spec().fingerprint() != fp1
+
+    def test_code_version_hashes_sources(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CODE_VERSION", raising=False)
+        v = code_version()
+        assert len(v) == 16 and v == code_version()
+
+
+class TestExecute:
+    def test_execute_volatile_vs_instrumented(self):
+        vol = execute_spec(spec(config=OptConfig.volatile()))
+        capri = execute_spec(spec())
+        assert vol.metrics.exec_cycles > 0
+        assert capri.metrics.exec_cycles > vol.metrics.exec_cycles
+        assert capri.metrics.proxy_entries > 0
+        assert vol.metrics.proxy_entries == 0
+
+    def test_metrics_dict_roundtrip_exact(self):
+        import json
+
+        m = execute_spec(spec()).metrics
+        rebuilt = metrics_from_dict(json.loads(json.dumps(metrics_to_dict(m))))
+        assert rebuilt == m
+
+    def test_run_workload_accepts_spec(self):
+        metrics, machine = run_workload(spec())
+        assert metrics.exec_cycles > 0
+        assert machine is not None and machine.memory
+
+    def test_run_workload_rejects_junk(self):
+        with pytest.raises(TypeError):
+            run_workload(42)
+
+    def test_run_workload_module_requires_spawns(self):
+        from repro.workloads import get_workload
+
+        module, _ = get_workload("ssca2").build(TINY)
+        with pytest.raises(TypeError):
+            run_workload(module)
+
+
+class TestHarnessShim:
+    def test_run_spec_matches_run(self):
+        from repro.eval.harness import EvalHarness
+
+        h = EvalHarness(params=SimParams.scaled(), scale=TINY)
+        legacy = h.run("ssca2", OptConfig.licm(64))
+        modern = h.run_spec(h.spec("ssca2", OptConfig.licm(64)))
+        assert modern.metrics == legacy.metrics
+        assert modern.normalized_cycles == legacy.normalized_cycles
+
+    def test_run_spec_volatile_normalizes_to_one(self):
+        from repro.eval.harness import EvalHarness
+
+        h = EvalHarness(params=SimParams.scaled(), scale=TINY)
+        result = h.run_spec(h.spec("ssca2", OptConfig.volatile()))
+        assert result.normalized_cycles == pytest.approx(1.0)
+
+
+class TestCampaignShim:
+    def test_campaign_config_from_spec(self):
+        from repro.fault.campaign import CampaignConfig
+
+        s = spec(threshold=16, quantum=8, seed=0xBEEF)
+        cc = CampaignConfig.from_spec(s, models=("clean",), sample=3)
+        assert cc.threshold == 16
+        assert cc.quantum == 8
+        assert cc.seed == 0xBEEF
+        assert cc.sample == 3
+
+    def test_golden_run_cached(self, tmp_path):
+        from repro.fault.campaign import CampaignConfig, run_workload_campaign
+        from repro.sweep.cache import ResultCache
+
+        store = ResultCache(tmp_path)
+        cc = CampaignConfig(sample=3, minimize=False)
+        cold = run_workload_campaign("genome", cc, scale=0.05, cache=store)
+        assert store.stores == 1 and store.hits == 0
+        warm = run_workload_campaign("genome", cc, scale=0.05, cache=store)
+        assert store.hits == 1  # golden served from disk
+        assert warm.total_events == cold.total_events
+        assert warm.counts() == cold.counts()
+
+    def test_campaign_accepts_runspec(self, tmp_path):
+        from repro.fault.campaign import run_workload_campaign
+        from repro.sweep.cache import ResultCache
+
+        s = RunSpec(
+            workload="genome", scale=0.05, config=OptConfig.licm(32), quantum=32
+        )
+        result = run_workload_campaign(s, cache=ResultCache(tmp_path))
+        assert result.workload == "genome"
+        assert result.ok

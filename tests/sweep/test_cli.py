@@ -1,0 +1,133 @@
+"""Tests for the consolidated ``python -m repro`` CLI (in-process)."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.sweep.cli import main as sweep_main
+
+SWEEP_ARGS = [
+    "--benchmarks",
+    "ssca2",
+    "--thresholds",
+    "64,256",
+    "--scale",
+    "0.05",
+]
+
+
+class TestDispatch:
+    def test_no_args_prints_usage(self, capsys):
+        assert repro_main([]) == 0
+        out = capsys.readouterr().out
+        for sub in ("sweep", "fault", "profile", "report"):
+            assert sub in out
+
+    def test_help_flag(self, capsys):
+        assert repro_main(["--help"]) == 0
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_unknown_subcommand(self, capsys):
+        assert repro_main(["frobnicate"]) == 2
+        assert "frobnicate" in capsys.readouterr().err
+
+    def test_dispatches_to_sweep(self, tmp_path, capsys):
+        rc = repro_main(
+            ["sweep", *SWEEP_ARGS, "--cache-dir", str(tmp_path), "--quiet"]
+        )
+        assert rc == 0
+        assert "ssca2" in capsys.readouterr().out
+
+
+class TestSweepCLI:
+    def test_cold_then_warm(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert sweep_main([*SWEEP_ARGS, "--cache-dir", cache, "--quiet"]) == 0
+        cold_out = capsys.readouterr().out
+        assert "64" in cold_out and "256" in cold_out
+        # Warm re-run must be served from cache.
+        rc = sweep_main(
+            [
+                *SWEEP_ARGS,
+                "--cache-dir",
+                cache,
+                "--min-hit-rate",
+                "0.9",
+                "--quiet",
+            ]
+        )
+        assert rc == 0
+        assert "100% hit rate" in capsys.readouterr().out
+
+    def test_min_hit_rate_fails_cold_cache(self, tmp_path, capsys):
+        rc = sweep_main(
+            [
+                *SWEEP_ARGS,
+                "--cache-dir",
+                str(tmp_path / "fresh"),
+                "--min-hit-rate",
+                "0.9",
+                "--quiet",
+            ]
+        )
+        assert rc == 1
+        capsys.readouterr()
+
+    def test_json_output(self, tmp_path, capsys):
+        out_path = tmp_path / "sweep.json"
+        rc = sweep_main(
+            [
+                *SWEEP_ARGS,
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--json",
+                str(out_path),
+                "--quiet",
+            ]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        payload = json.loads(out_path.read_text())
+        assert payload["cells"]["ssca2"]["64"] > 1.0
+        assert payload["cells"]["ssca2"]["256"] > 1.0
+        assert payload["report"]["failures"] == 0
+        assert payload["report"]["simulations"] == 3  # 2 runs + 1 baseline
+
+    def test_unknown_benchmark_fails(self, tmp_path, capsys):
+        rc = sweep_main(
+            [
+                "--benchmarks",
+                "no-such-workload",
+                "--thresholds",
+                "64",
+                "--scale",
+                "0.05",
+                "--cache-dir",
+                str(tmp_path),
+                "--quiet",
+            ]
+        )
+        assert rc == 1
+        capsys.readouterr()
+
+
+class TestLegacyPointers:
+    """Old entry points keep working; they only add a stderr pointer."""
+
+    @pytest.mark.parametrize(
+        "module, needle",
+        [
+            ("repro.eval.figures", "python -m repro figures"),
+            ("repro.eval.ablations", "python -m repro ablations"),
+            ("repro.eval.make_report", "python -m repro report"),
+            ("repro.eval.profile", "python -m repro profile"),
+            ("repro.fault.__main__", "python -m repro fault"),
+        ],
+    )
+    def test_pointer_text_present(self, module, needle):
+        import importlib
+        import inspect
+
+        src = inspect.getsource(importlib.import_module(module))
+        assert needle in src
