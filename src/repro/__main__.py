@@ -3,6 +3,7 @@
 ========   ==========================================================
 sweep      parallel benchmark sweep with persistent result cache
 fault      crash-consistency fault-injection campaign
+check      online persistency checker: sanitized runs, mutant matrix
 profile    workload characterisation tables
 report     one-shot full evaluation report (all figures + analyses)
 figures    individual paper figures (fig8, fig9, …)
@@ -10,9 +11,10 @@ ablations  hardware-parameter ablation sweeps
 ========   ==========================================================
 
 Each subcommand delegates to the existing module (``repro.sweep.cli``,
-``repro.fault``, ``repro.eval.profile``, ``repro.eval.make_report``,
-``repro.eval.figures``, ``repro.eval.ablations``); the old per-module
-entry points keep working and print a pointer here.
+``repro.fault``, ``repro.check``, ``repro.eval.profile``,
+``repro.eval.make_report``, ``repro.eval.figures``,
+``repro.eval.ablations``); the old per-module entry points keep working
+and print a pointer here.
 """
 
 from __future__ import annotations
@@ -26,6 +28,7 @@ usage: python -m repro <subcommand> [options]
 subcommands:
   sweep      parallel benchmark sweep with persistent result cache
   fault      crash-consistency fault-injection campaign
+  check      online persistency checker (sanitized runs / --mutants)
   profile    workload characterisation tables
   report     one-shot full evaluation report
   figures    individual paper figures (fig8, fig9, ...)
@@ -40,6 +43,8 @@ def _dispatch(command: str):
         from repro.sweep.cli import main
     elif command == "fault":
         from repro.fault.__main__ import main
+    elif command == "check":
+        from repro.check.__main__ import main
     elif command == "profile":
         from repro.eval.profile import main
     elif command == "report":

@@ -111,6 +111,13 @@ class RunSpec:
     seed: int = 0
     threads: Optional[int] = None
     max_steps: int = _DEFAULT_MAX_STEPS
+    #: Run the online persistency checker (:mod:`repro.check`) alongside
+    #: the simulation; a model violation raises
+    #: :class:`repro.check.PersistencyViolationError` out of
+    #: :func:`execute_spec`.  Part of the fingerprint: a checked run
+    #: validates extra invariants and must not share cache entries with
+    #: an unchecked one.
+    check: bool = False
     label: str = ""
 
     # -- effective (derived) values -----------------------------------------
@@ -150,6 +157,7 @@ class RunSpec:
             threshold=None,
             persistence=False,
             seed=0,
+            check=False,  # nothing persistent to check in a volatile run
             label="baseline",
         )
 
@@ -178,6 +186,7 @@ class RunSpec:
             "seed": self.seed,
             "threads": self.threads,
             "max_steps": self.max_steps,
+            "check": self.check,
         }
         blob = json.dumps(token, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode()).hexdigest()
@@ -187,6 +196,8 @@ class RunSpec:
         bits = [self.workload, f"t{self.effective_threshold}"]
         if not self.effective_persistence:
             bits.append("volatile")
+        if self.check:
+            bits.append("check")
         if self.label:
             bits.append(self.label)
         return ":".join(bits)
@@ -256,6 +267,7 @@ def execute_spec(spec: RunSpec, keep_machine: bool = False) -> RunResult:
         persistence=spec.effective_persistence,
         quantum=spec.quantum,
         max_steps=spec.max_steps,
+        check=spec.check,
     )
     return RunResult(
         spec=spec,

@@ -105,10 +105,25 @@ def capture_crash_state(system: CapriSystem) -> CrashState:
 
 
 class CrashInjector(Observer):
-    """Observer wrapper that fails power after N delegated events."""
+    """Observer wrapper that fails power after N delegated events.
 
-    def __init__(self, system: CapriSystem, plan: CrashPlan) -> None:
+    ``target`` is the observer that receives delegated events; it
+    defaults to ``system`` but may be a :class:`~repro.isa.trace.
+    TeeObserver` fanning out to the persistency checker *and* the
+    system.  The crash check runs before delegation, so at the crash
+    point *no* downstream observer — system or checker — sees the event:
+    the checker's shadow model and the captured hardware state stay in
+    lock-step.
+    """
+
+    def __init__(
+        self,
+        system: CapriSystem,
+        plan: CrashPlan,
+        target: Optional[Observer] = None,
+    ) -> None:
         self.system = system
+        self.target = target if target is not None else system
         self.plan = plan
         self.events_seen = 0
         self.fired = False
@@ -119,43 +134,43 @@ class CrashInjector(Observer):
             raise PowerFailure(capture_crash_state(self.system))
         self.events_seen += 1
 
-    # Delegation: the crash check runs before the system sees the event.
+    # Delegation: the crash check runs before the target sees the event.
 
     def on_retire(self, core, kind):
         self._tick()
-        self.system.on_retire(core, kind)
+        self.target.on_retire(core, kind)
 
     def on_load(self, core, addr):
         self._tick()
-        self.system.on_load(core, addr)
+        self.target.on_load(core, addr)
 
     def on_store(self, core, addr, value, old):
         self._tick()
-        self.system.on_store(core, addr, value, old)
+        self.target.on_store(core, addr, value, old)
 
     def on_ckpt(self, core, reg, value, addr):
         self._tick()
-        self.system.on_ckpt(core, reg, value, addr)
+        self.target.on_ckpt(core, reg, value, addr)
 
     def on_boundary(self, core, region_id, continuation):
         self._tick()
-        self.system.on_boundary(core, region_id, continuation)
+        self.target.on_boundary(core, region_id, continuation)
 
     def on_fence(self, core):
         self._tick()
-        self.system.on_fence(core)
+        self.target.on_fence(core)
 
     def on_atomic(self, core, addr, value, old):
         self._tick()
-        self.system.on_atomic(core, addr, value, old)
+        self.target.on_atomic(core, addr, value, old)
 
     def on_io(self, core, port, value):
         self._tick()
-        self.system.on_io(core, port, value)
+        self.target.on_io(core, port, value)
 
     def on_halt(self, core):
         self._tick()
-        self.system.on_halt(core)
+        self.target.on_halt(core)
 
 
 def run_until_crash(
@@ -200,9 +215,32 @@ def run_until_crash_with_machine(
     machine, system = build_system(
         module, spawns, params=params, threshold=threshold, quantum=quantum
     )
-    injector = CrashInjector(system, plan)
+    state = run_built_until_crash(machine, system, plan, max_steps=max_steps)
+    return state, machine
+
+
+def run_built_until_crash(
+    machine: Machine,
+    system: CapriSystem,
+    plan: CrashPlan,
+    max_steps: int = 50_000_000,
+    extra_observer: Optional[Observer] = None,
+) -> Optional[CrashState]:
+    """Drive an already-built (machine, system) pair to the crash point.
+
+    ``extra_observer`` (e.g. the persistency checker) is teed *before*
+    the system, but still behind the injector — at the crash point
+    neither it nor the system sees the fatal event.  Returns the
+    captured state, or ``None`` if the program finished first.
+    """
+    from repro.isa.trace import TeeObserver
+
+    target: Observer = system
+    if extra_observer is not None:
+        target = TeeObserver(extra_observer, system)
+    injector = CrashInjector(system, plan, target=target)
     try:
         machine.run(injector, max_steps=max_steps)
     except PowerFailure as pf:
-        return pf.state, machine
-    return None, machine
+        return pf.state
+    return None

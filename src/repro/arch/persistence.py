@@ -16,12 +16,85 @@ shared NVM, and implements the cross-core interactions:
 
 from __future__ import annotations
 
+from dataclasses import dataclass, fields
 from typing import Dict, List, Optional
 
 from repro.arch.nvm import NVMain
 from repro.arch.params import SimParams
 from repro.arch.proxy import CoreProxyPipeline
 from repro.ir.values import WORD_BYTES
+
+
+@dataclass(frozen=True)
+class ProtocolMutations:
+    """Debug knobs that *break* the persistence protocol on purpose.
+
+    Each flag plants one classic undo/redo-ordering bug in the proxy
+    pipeline (or the recovery protocol); all default to off and nothing
+    in the simulator sets them outside :mod:`repro.check.mutants`, which
+    uses them to prove the persistency checker detects every class of
+    violation it claims to (sensitivity, not just silence).
+
+    Pipeline-side knobs (gated in :mod:`repro.arch.proxy` /
+    :class:`PersistenceEngine`):
+
+    * ``skip_undo_log`` — data entries record the *redo* value in the
+      undo field too; rollback of an interrupted region is impossible.
+    * ``merge_across_regions`` — front-end merging ignores the region
+      check of Section 5.2.1, retroactively editing a committed region.
+    * ``drop_boundary_entry`` — boundaries advance the region sequence
+      but never emit a delimiter entry; committed regions never drain.
+    * ``reorder_phase2`` — phase-2 drain services a later region's data
+      entry ahead of the boundary at the back-end head.
+    * ``drain_past_boundary`` — phase-2 drains data entries even when no
+      boundary entry has arrived (uncommitted data reaches NVM).
+    * ``skip_pc_checkpoint`` — boundary drain omits the durable PC
+      checkpoint (DESIGN.md reproduction finding #1 un-fixed).
+    * ``skip_ckpt_flush`` — boundary drain omits the staged register
+      checkpoints; recovery would reload stale registers.
+    * ``redo_writes_undo`` — phase-2 writes the undo word where the redo
+      word belongs.
+    * ``drop_invalidation`` — regular-path writebacks skip the
+      Section 5.3.2 valid-bit scan; delayed drains overwrite newer data.
+    * ``invalidate_everything`` — the valid-bit scan unsets *every*
+      entry's bit, not just matching addresses; valid redo data is lost.
+
+    Recovery-side knobs (gated in :func:`repro.arch.recovery.recover`):
+
+    * ``recovery_skip_redo`` — phase A skips applying committed redo
+      words.
+    * ``recovery_stale_pc`` — recovery resumes from the durable PC
+      checkpoint even when newer boundary entries survive in the
+      buffers.
+    """
+
+    skip_undo_log: bool = False
+    merge_across_regions: bool = False
+    drop_boundary_entry: bool = False
+    reorder_phase2: bool = False
+    drain_past_boundary: bool = False
+    skip_pc_checkpoint: bool = False
+    skip_ckpt_flush: bool = False
+    redo_writes_undo: bool = False
+    drop_invalidation: bool = False
+    invalidate_everything: bool = False
+    recovery_skip_redo: bool = False
+    recovery_stale_pc: bool = False
+
+    @classmethod
+    def single(cls, name: str) -> "ProtocolMutations":
+        """The mutation set with exactly one knob on."""
+        if name not in {f.name for f in fields(cls)}:
+            raise ValueError(f"unknown protocol mutation {name!r}")
+        return cls(**{name: True})
+
+    @classmethod
+    def names(cls) -> List[str]:
+        return [f.name for f in fields(cls)]
+
+    @property
+    def active(self) -> List[str]:
+        return [f.name for f in fields(self) if getattr(self, f.name)]
 
 
 class PersistenceEngine:
@@ -33,12 +106,18 @@ class PersistenceEngine:
         nvm: NVMain,
         num_cores: int,
         threshold: int,
+        mutations: Optional[ProtocolMutations] = None,
     ) -> None:
         self.params = params
         self.nvm = nvm
         self.threshold = threshold
+        self.mutations = mutations
+        #: Optional persistency-checker hook sink (duck-typed; see
+        #: :class:`repro.check.checker.PersistencyChecker`).  Assign via
+        #: :meth:`set_watcher` so lazily grown pipelines inherit it.
+        self.watcher = None
         self.pipelines: List[CoreProxyPipeline] = [
-            CoreProxyPipeline(core, params, nvm, threshold)
+            CoreProxyPipeline(core, params, nvm, threshold, mutations=mutations)
             for core in range(num_cores)
         ]
         # -- statistics --------------------------------------------------
@@ -48,10 +127,23 @@ class PersistenceEngine:
 
     def pipeline(self, core: int) -> CoreProxyPipeline:
         while core >= len(self.pipelines):
-            self.pipelines.append(
-                CoreProxyPipeline(len(self.pipelines), self.params, self.nvm, self.threshold)
+            pipe = CoreProxyPipeline(
+                len(self.pipelines),
+                self.params,
+                self.nvm,
+                self.threshold,
+                mutations=self.mutations,
             )
+            pipe.watcher = self.watcher
+            self.pipelines.append(pipe)
         return self.pipelines[core]
+
+    def set_watcher(self, watcher) -> None:
+        """Attach a proxy-pipeline hook sink to every (current and
+        future) pipeline."""
+        self.watcher = watcher
+        for pipe in self.pipelines:
+            pipe.watcher = watcher
 
     # -- store/checkpoint/boundary pass-throughs ----------------------------
 
@@ -70,8 +162,20 @@ class PersistenceEngine:
         """A dirty line reached NVM through the cache hierarchy."""
         for pipe in self.pipelines:
             pipe.advance(now)
+        if self.watcher is not None:
+            for addr, value in words.items():
+                self.watcher.on_writeback(addr, value)
         self.nvm.writeback_words(now, words)
-        if self.params.stale_read_prevention:
+        m = self.mutations
+        if m is not None and m.invalidate_everything:
+            for pipe in self.pipelines:
+                n = pipe.invalidate_all()
+                self.invalidations += n
+                self.stale_reads_prevented += n
+            return
+        if self.params.stale_read_prevention and not (
+            m is not None and m.drop_invalidation
+        ):
             for addr in words:
                 for pipe in self.pipelines:
                     n = pipe.invalidate_matching(addr)

@@ -205,12 +205,30 @@ class ProxyOverflowError(Exception):
 
 
 class CoreProxyPipeline:
-    """One core's front-end buffer, proxy path, and back-end buffer."""
+    """One core's front-end buffer, proxy path, and back-end buffer.
 
-    def __init__(self, core_id: int, params: SimParams, nvm: NVMain, threshold: int) -> None:
+    ``watcher`` is an optional duck-typed hook sink (the persistency
+    checker): the pipeline reports what it *actually did* — entries
+    created/merged, boundaries emitted, redo words drained or skipped,
+    boundary drains with the checkpoint/PC words really written — so a
+    planted protocol mutation cannot lie to the checker.  ``mutations``
+    (a :class:`repro.arch.persistence.ProtocolMutations`) gates those
+    planted bugs; ``None`` means the faithful protocol.
+    """
+
+    def __init__(
+        self,
+        core_id: int,
+        params: SimParams,
+        nvm: NVMain,
+        threshold: int,
+        mutations=None,
+    ) -> None:
         self.core_id = core_id
         self.params = params
         self.nvm = nvm
+        self.mutations = mutations
+        self.watcher = None
         self.fe_cap = params.frontend_entries
         self.be_cap = params.backend_capacity(threshold)
 
@@ -253,7 +271,10 @@ class CoreProxyPipeline:
         cannot be stamped before it.
         """
         best: Optional[Tuple[float, str]] = None
-        if self.be and self._boundaries_in_be > 0:
+        drainable = self._boundaries_in_be > 0 or (
+            self.mutations is not None and self.mutations.drain_past_boundary
+        )
+        if self.be and drainable:
             head = self.be[0]
             t = max(head.arrive_time, self.nvm.write_free_at)
             best = (t, "drain")
@@ -273,23 +294,56 @@ class CoreProxyPipeline:
     def _do_drain(self, t: float) -> float:
         """Retire the back-end head entry; returns completion time."""
         self._event_clock = max(self._event_clock, t)
-        entry = self.be.popleft()
+        m = self.mutations
+        if (
+            m is not None
+            and m.reorder_phase2
+            and len(self.be) >= 2
+            and self.be[0].is_boundary
+            and not self.be[1].is_boundary
+        ):
+            entry = self.be[1]
+            del self.be[1]
+        else:
+            entry = self.be.popleft()
+        watcher = self.watcher
         if entry.is_boundary:
             self._boundaries_in_be -= 1
             done = t
-            for slot_addr, value in entry.ckpts.items():
-                done = self.nvm.ckpt_write(done, slot_addr, value)
+            ckpts_written: Dict[int, int] = {}
+            if not (m is not None and m.skip_ckpt_flush):
+                for slot_addr, value in entry.ckpts.items():
+                    done = self.nvm.ckpt_write(done, slot_addr, value)
+                    ckpts_written[slot_addr] = value
             # Persist the PC checkpoint: with the boundary entry retired,
             # the durable resume point must live in NVM (Section 3.1).
-            self.nvm.pc_checkpoints[self.core_id] = (
-                entry.continuation,
-                entry.region_id,
-            )
+            pc_written = not (m is not None and m.skip_pc_checkpoint)
+            if pc_written:
+                self.nvm.pc_checkpoints[self.core_id] = (
+                    entry.continuation,
+                    entry.region_id,
+                )
             self.last_region_durable = max(done, t)
+            if watcher is not None:
+                watcher.on_boundary_drained(
+                    self.core_id,
+                    entry.region_seq,
+                    entry.region_id,
+                    entry.continuation,
+                    ckpts_written,
+                    pc_written,
+                )
             return done
         if entry.redo_valid:
-            return self.nvm.redo_write(t, entry.addr, entry.redo)
+            value = entry.undo if (m is not None and m.redo_writes_undo) else entry.redo
+            if watcher is not None:
+                watcher.on_redo_drained(
+                    self.core_id, entry.region_seq, entry.addr, value
+                )
+            return self.nvm.redo_write(t, entry.addr, value)
         self.nvm.writes_skipped += 1
+        if watcher is not None:
+            watcher.on_redo_skipped(self.core_id, entry.region_seq, entry.addr)
         return t
 
     def _do_xfer(self, t: float) -> None:
@@ -341,24 +395,47 @@ class CoreProxyPipeline:
         """Phase-1 entry creation for a store; returns the (possibly
         stalled) completion time for the core."""
         self.advance(now)
+        m = self.mutations
         merged = self._fe_merge.get(addr)
-        if merged is not None and merged.region_seq == self.region_seq:
+        if merged is None and m is not None and m.merge_across_regions:
+            # The planted bug: merge into *any* buffered entry for the
+            # address, ignoring region ownership entirely — including
+            # entries of already-committed regions sitting in the
+            # back-end awaiting drain (newest match wins, as a
+            # content-addressed lookup would).
+            for entry in reversed(list(self.be) + list(self.fe)):
+                if not entry.is_boundary and entry.addr == addr:
+                    merged = entry
+                    break
+        if merged is not None and (
+            merged.region_seq == self.region_seq
+            or (m is not None and m.merge_across_regions)
+        ):
             merged.redo = value
             merged.refresh_checksum()
             self.entries_merged += 1
+            if self.watcher is not None:
+                self.watcher.on_merge(
+                    self.core_id, merged.region_seq, addr, value
+                )
             return now
         if len(self.fe) >= self.fe_cap:
             t = self._advance_until(lambda: len(self.fe) < self.fe_cap)
             if t > now:
                 self.fe_stall_cycles += t - now
                 now = t
+        undo = value if (m is not None and m.skip_undo_log) else old
         entry = ProxyEntry(
-            KIND_DATA, self.region_seq, now, addr=addr, undo=old, redo=value
+            KIND_DATA, self.region_seq, now, addr=addr, undo=undo, redo=value
         )
         self.fe.append(entry)
         self._fe_merge[addr] = entry
         self._entries_since_boundary += 1
         self.entries_created += 1
+        if self.watcher is not None:
+            self.watcher.on_entry(
+                self.core_id, entry.region_seq, addr, entry.undo, entry.redo
+            )
         return now
 
     def record_ckpt(self, now: float, slot_addr: int, value: int) -> float:
@@ -374,6 +451,7 @@ class CoreProxyPipeline:
         empty — the traffic optimisation of Section 5.2.1) and start a new
         region.  Returns the (possibly stalled) completion time."""
         self.advance(now)
+        m = self.mutations
         emit = (
             self._entries_since_boundary > 0
             or bool(self.staging)
@@ -381,6 +459,15 @@ class CoreProxyPipeline:
         )
         if not emit:
             self.boundaries_skipped += 1
+            return now
+        if m is not None and m.drop_boundary_entry:
+            # Planted bug: the region sequence advances as if the
+            # delimiter were emitted, but no entry ever reaches the
+            # buffers — the committed region can never drain.
+            self.staging = {}
+            self.region_seq += 1
+            self._entries_since_boundary = 0
+            self._fe_merge.clear()
             return now
         if len(self.fe) >= self.fe_cap:
             t = self._advance_until(lambda: len(self.fe) < self.fe_cap)
@@ -400,7 +487,8 @@ class CoreProxyPipeline:
         self.staging = {}
         self.region_seq += 1
         self._entries_since_boundary = 0
-        self._fe_merge.clear()  # never merge across regions (Section 5.2.1)
+        if not (m is not None and m.merge_across_regions):
+            self._fe_merge.clear()  # never merge across regions (Section 5.2.1)
         if self.params.persist_mode.value == "sync":
             # Naive synchronous persistence: the core blocks until the
             # whole region (data + boundary) has crossed the proxy path
@@ -457,6 +545,18 @@ class CoreProxyPipeline:
                 count += 1
         for entry in self.fe:
             if not entry.is_boundary and entry.addr == addr and entry.redo_valid:
+                entry.redo_valid = False
+                entry.refresh_checksum()
+                count += 1
+        return count
+
+    def invalidate_all(self) -> int:
+        """Unset every data entry's redo valid-bit regardless of address —
+        only the ``invalidate_everything`` planted mutation calls this;
+        correct hardware never would."""
+        count = 0
+        for entry in list(self.be) + list(self.fe):
+            if not entry.is_boundary and entry.redo_valid:
                 entry.redo_valid = False
                 entry.refresh_checksum()
                 count += 1

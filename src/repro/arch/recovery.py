@@ -230,14 +230,21 @@ def _first_torn_boundary(entries: List[ProxyEntry]) -> Optional[int]:
 
 
 def recover(
-    state: CrashState, module: Module, strict: bool = True
+    state: CrashState, module: Module, strict: bool = True, mutations=None
 ) -> RecoveredState:
     """Run the Section 5.4 protocol over a crash snapshot.
 
     With ``strict=True`` (the default) any integrity violation raises a
     typed :class:`RecoveryError`; with ``strict=False`` corruption is
     quarantined and described in ``RecoveredState.report``.
+
+    ``mutations`` (a :class:`repro.arch.persistence.ProtocolMutations`)
+    plants recovery-protocol bugs for checker-sensitivity tests
+    (``recovery_skip_redo``, ``recovery_stale_pc``); leave ``None`` for
+    the faithful protocol.
     """
+    skip_redo = mutations is not None and mutations.recovery_skip_redo
+    stale_pc = mutations is not None and mutations.recovery_stale_pc
     image = dict(state.nvm_image)
     shadow = dict(state.ckpt_shadow)
     resumes: List[Optional[CoreResume]] = []
@@ -306,14 +313,15 @@ def recover(
                     report.tainted_addrs.add(data.addr)
                     core_tainted = True
                     continue
-                if data.redo_valid:
+                if data.redo_valid and not skip_redo:
                     image[data.addr] = data.redo
                     out.redo_words += 1
             for slot_addr, value in entry.ckpts.items():
                 image[slot_addr] = value
                 shadow[slot_addr] = word_checksum(slot_addr, value)
-            last_continuation = entry.continuation
-            last_region_id = entry.region_id
+            if not stale_pc:
+                last_continuation = entry.continuation
+                last_region_id = entry.region_id
             out.regions_redone += 1
             tail_start = i + 1
 

@@ -71,6 +71,7 @@ class CapriSystem(Observer):
         num_cores: int = 1,
         threshold: int = 256,
         persistence: bool = True,
+        mutations=None,
     ) -> None:
         self.params = params
         self.num_cores = num_cores
@@ -78,7 +79,9 @@ class CapriSystem(Observer):
         self.nvm = NVMain(params)
         self.persist: Optional[PersistenceEngine] = None
         if persistence:
-            self.persist = PersistenceEngine(params, self.nvm, num_cores, threshold)
+            self.persist = PersistenceEngine(
+                params, self.nvm, num_cores, threshold, mutations=mutations
+            )
             on_wb = self._nvm_writeback
         else:
             on_wb = lambda line, words: self.nvm.writeback_words(self._now, words)
@@ -239,6 +242,7 @@ def build_system(
     threshold: int = 256,
     persistence: bool = True,
     quantum: int = 32,
+    mutations=None,
 ) -> Tuple[Machine, "CapriSystem"]:
     """Construct the (machine, system) pair for a workload, unstarted.
 
@@ -246,6 +250,9 @@ def build_system(
     (:func:`run_workload`) and crash runs
     (:func:`repro.arch.crash.run_until_crash`) — so the two cannot drift
     in how cores are counted, harts spawned, or the durable image seeded.
+    ``mutations`` plants protocol bugs for checker-sensitivity tests
+    (:mod:`repro.check.mutants`); leave ``None`` for the faithful
+    protocol.
     """
     params = params or SimParams.scaled()
     machine = Machine(module, quantum=quantum)
@@ -256,6 +263,7 @@ def build_system(
         num_cores=max(1, len(spawns)),
         threshold=threshold,
         persistence=persistence,
+        mutations=mutations,
     )
     system.attach(machine)
     return machine, system
@@ -269,6 +277,7 @@ def run_workload(
     persistence: bool = True,
     quantum: int = 32,
     max_steps: int = 50_000_000,
+    check: bool = False,
 ) -> Tuple[SystemMetrics, Machine]:
     """Execute ``module`` under the simulated system; returns metrics+machine.
 
@@ -277,6 +286,12 @@ def run_workload(
     instead be a :class:`repro.api.RunSpec`, in which case every other
     argument is taken from the spec (build, compile, simulate in one
     call) and must be left at its default.
+
+    With ``check=True`` the online persistency checker
+    (:mod:`repro.check`) rides along and raises
+    :class:`repro.check.PersistencyViolationError` if any persistent-
+    domain transition violates the region-persistency model.  Requires
+    ``persistence=True``.
     """
     if not isinstance(module, Module):
         from repro.api import RunSpec, execute_spec
@@ -297,5 +312,15 @@ def run_workload(
         persistence=persistence,
         quantum=quantum,
     )
+    if check:
+        from repro.check.checker import PersistencyChecker
+        from repro.isa.trace import TeeObserver
+
+        checker = PersistencyChecker.attach(system)
+        machine.run(TeeObserver(checker, system), max_steps=max_steps)
+        metrics = system.finish()
+        checker.finalize(system)
+        checker.report.raise_if_violated()
+        return metrics, machine
     machine.run(system, max_steps=max_steps)
     return system.finish(), machine

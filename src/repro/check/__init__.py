@@ -1,0 +1,61 @@
+"""Online persistency-model checking (the ``repro.check`` subsystem).
+
+A shadow-state sanitizer for the Capri persistence protocol: a reference
+automaton (:mod:`~repro.check.model`) consumes the architectural event
+stream and derives the set of NVM states region-level persistency
+permits; the checker (:mod:`~repro.check.checker`) rides any run as an
+observer + persistence-engine watcher and flags every divergence with a
+taxonomy class and a minimized witness window
+(:mod:`~repro.check.violations`).  Planted protocol mutants
+(:mod:`~repro.check.mutants`) prove the sanitizer actually fires.
+
+Entry points:
+
+* ``run_workload(..., check=True)`` / ``RunSpec(check=True)`` — sanitize
+  any normal run.
+* ``CampaignConfig(check=True)`` — the fault campaign's second oracle.
+* ``python -m repro check`` — CLI: per-workload sanitized runs and the
+  ``--mutants`` validation matrix.
+"""
+
+from repro.check.checker import PersistencyChecker
+from repro.check.mutants import (
+    MUTANT_EXPECTATIONS,
+    MutantMatrixResult,
+    MutantOutcome,
+    run_mutant_matrix,
+)
+from repro.check.violations import (
+    ALL_KINDS,
+    CORRUPT_UNDO,
+    CheckReport,
+    LOST_REDO,
+    OUT_OF_ORDER_DRAIN,
+    PHANTOM_PERSIST,
+    PREMATURE_PERSIST,
+    PersistencyViolationError,
+    STALE_BOUNDARY_PC,
+    STALE_REDO_OVERWRITE,
+    UNCOVERED_CKPT_SLOT,
+    Violation,
+)
+
+__all__ = [
+    "PersistencyChecker",
+    "PersistencyViolationError",
+    "CheckReport",
+    "Violation",
+    "ALL_KINDS",
+    "PREMATURE_PERSIST",
+    "LOST_REDO",
+    "OUT_OF_ORDER_DRAIN",
+    "STALE_BOUNDARY_PC",
+    "UNCOVERED_CKPT_SLOT",
+    "CORRUPT_UNDO",
+    "STALE_REDO_OVERWRITE",
+    "PHANTOM_PERSIST",
+    "MUTANT_EXPECTATIONS",
+    "MutantOutcome",
+    "MutantMatrixResult",
+    "run_mutant_matrix",
+]

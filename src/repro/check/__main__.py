@@ -1,0 +1,179 @@
+"""Command-line persistency checking.
+
+Two modes:
+
+**Sanitized runs** (default) — run workloads under the online checker
+and report violations::
+
+    # One workload at the paper threshold:
+    python -m repro check --workload genome
+
+    # Several workloads across a threshold sweep (the Figure 8 x-axis):
+    python -m repro check --workload genome,ssca2 --thresholds 32,64,256
+
+    # Every figure-suite workload:
+    python -m repro check --all
+
+**Mutant matrix** (``--mutants``) — planted-bug validation: every
+protocol mutant must be detected with the taxonomy class it warrants,
+and the unmutated runs (including crash/recover probes) must be
+violation-free::
+
+    python -m repro check --mutants
+    python -m repro check --mutants --workloads genome,hot-writeback
+
+Exit status is non-zero iff any sanitized run raised a violation (or
+died), or any mutant went undetected / any matrix baseline was dirty.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.arch.params import SimParams
+from repro.check.mutants import (
+    MUTANT_EXPECTATIONS,
+    _build_workload,
+    checked_run,
+    matrix_params,
+    run_mutant_matrix,
+)
+
+
+def _parse_csv(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _sanitized(args, parser) -> int:
+    from repro.workloads import workload_names
+
+    if args.all:
+        names = workload_names()
+    elif args.workload:
+        names = _parse_csv(args.workload)
+    else:
+        parser.error("sanitized mode needs --workload or --all")
+    if args.thresholds:
+        thresholds = [int(t) for t in _parse_csv(args.thresholds)]
+    else:
+        thresholds = [args.threshold]
+    params = matrix_params() if args.matrix_params else SimParams.scaled()
+
+    failures = 0
+    for name in names:
+        for threshold in thresholds:
+            start = time.perf_counter()
+            try:
+                module, spawns = _build_workload(name, args.scale, threshold)
+            except KeyError as err:
+                parser.error(str(err.args[0] if err.args else err))
+            checker, error = checked_run(module, spawns, params, threshold)
+            report = checker.report
+            ok = report.ok and error is None
+            wall = time.perf_counter() - start
+            status = "clean" if ok else "VIOLATED"
+            print(
+                f"{name:20s} t{threshold:<5d} {status:8s} "
+                f"{report.summary()}  ({wall:.1f}s)"
+                + (f"  [{error}]" if error else "")
+            )
+            if not ok:
+                failures += 1
+                print(report.format())
+    verdict = "PASS" if failures == 0 else f"FAIL ({failures} run(s) violated)"
+    print(f"sanitized runs: {len(names)} workload(s) x "
+          f"{len(thresholds)} threshold(s) — {verdict}")
+    return 0 if failures == 0 else 1
+
+
+def _mutants(args, parser) -> int:
+    workloads = _parse_csv(args.workloads)
+    mutants = _parse_csv(args.mutant) if args.mutant else None
+    try:
+        result = run_mutant_matrix(
+            workloads=workloads,
+            scale=args.scale if args.scale is not None else 1.0,
+            threshold=args.threshold,
+            mutants=mutants,
+        )
+    except (KeyError, ValueError) as err:
+        parser.error(str(err.args[0] if err.args else err))
+    print(result.format())
+    return 0 if result.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro check",
+        description="Online persistency-model checker (sanitized runs "
+        "and planted-mutant validation)",
+    )
+    parser.add_argument(
+        "--mutants",
+        action="store_true",
+        help="run the planted-mutant validation matrix instead of "
+        "sanitized workload runs",
+    )
+    parser.add_argument(
+        "--workload",
+        help="comma-separated registry workloads to sanitize",
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        help="sanitize every figure-suite workload",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="workload scale (default: each workload's registry default; "
+        "1.0 in --mutants mode)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=int,
+        default=None,
+        help="region threshold (default: 256 sanitized, 32 for --mutants)",
+    )
+    parser.add_argument(
+        "--thresholds",
+        help="comma-separated threshold sweep (sanitized mode only)",
+    )
+    parser.add_argument(
+        "--matrix-params",
+        action="store_true",
+        help="sanitize under the stress parameters of the mutant matrix "
+        "(tiny caches, throttled NVM write port) instead of the paper "
+        "configuration",
+    )
+    parser.add_argument(
+        "--workloads",
+        default="genome,hot-writeback",
+        help="matrix workloads for --mutants (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--mutant",
+        help="comma-separated mutant subset for --mutants "
+        f"(known: {', '.join(MUTANT_EXPECTATIONS)})",
+    )
+    args = parser.parse_args(argv)
+
+    if args.mutants:
+        if args.threshold is None:
+            args.threshold = 32
+        return _mutants(args, parser)
+    if args.threshold is None:
+        args.threshold = 256
+    return _sanitized(args, parser)
+
+
+if __name__ == "__main__":
+    print(
+        "note: `python -m repro check ...` is the consolidated entry point",
+        file=sys.stderr,
+    )
+    sys.exit(main())

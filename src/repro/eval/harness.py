@@ -59,10 +59,16 @@ class EvalHarness:
         params: Optional[SimParams] = None,
         scale: float = 1.0,
         quantum: int = 32,
+        check: bool = False,
     ) -> None:
         self.params = params or SimParams.scaled()
         self.scale = scale
         self.quantum = quantum
+        #: run every instrumented simulation under the online persistency
+        #: checker (:mod:`repro.check`); violations raise out of
+        #: :meth:`run`/:meth:`run_spec`.  Volatile baselines are never
+        #: checked (nothing persistent to check).
+        self.check = check
         #: baseline fingerprint -> volatile exec cycles.
         self._baseline_cache: Dict[str, float] = {}
         #: the engine report from the most recent :meth:`sweep` call.
@@ -74,7 +80,7 @@ class EvalHarness:
         self, name: str, config: Optional[OptConfig] = None, label: str = ""
     ) -> RunSpec:
         """A :class:`RunSpec` for ``name`` under this harness's settings."""
-        return RunSpec(
+        spec = RunSpec(
             workload=name,
             scale=self.scale,
             config=config if config is not None else OptConfig.licm(),
@@ -82,6 +88,9 @@ class EvalHarness:
             quantum=self.quantum,
             label=label,
         )
+        if self.check and spec.effective_persistence:
+            spec = spec.with_(check=True)
+        return spec
 
     # -- baseline -----------------------------------------------------------
 
@@ -140,6 +149,7 @@ class EvalHarness:
             threshold=config.threshold,
             persistence=config.instrumented,
             quantum=self.quantum,
+            check=self.check and config.instrumented,
         )
         return BenchmarkResult(
             name=name,
@@ -243,4 +253,5 @@ class EvalHarness:
         cc = campaign_config or CampaignConfig()
         cc.params = cc.params or self.params
         cc.quantum = self.quantum
+        cc.check = cc.check or self.check
         return run_workload_campaign(name, cc, scale=self.scale)

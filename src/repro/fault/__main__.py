@@ -68,6 +68,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_false",
         help="skip shrinking the first failure",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="run the online persistency checker (repro.check) as a "
+        "second oracle at every sweep point",
+    )
     args = parser.parse_args(argv)
 
     model_names = tuple(
@@ -86,6 +92,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         models=model_names,
         strict=strict,
         minimize=args.minimize,
+        check=args.check,
     )
     try:
         result = run_workload_campaign(

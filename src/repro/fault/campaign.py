@@ -23,8 +23,21 @@ status                    meaning
                           damage is contained (tainted addrs / fenced cores)
 ``mismatch``              FAILURE: clean crash diverged from golden
 ``silent-mismatch``       FAILURE: injected fault diverged *unreported*
+``model-violation``       FAILURE: the online persistency checker
+                          (:mod:`repro.check`) flagged the crash state or a
+                          clean recovery — even if end-state differencing
+                          passed (``config.check`` only)
 ``error``                 FAILURE: unexpected exception
 ========================  ====================================================
+
+With ``CampaignConfig.check`` on, every sweep point runs under the
+shadow-state checker as a *second oracle*: the run to the crash point is
+sanitized online, the captured persistent domain is compared against the
+model's expected surviving entries, and clean (fault-free) recoveries are
+validated against the committed prefix.  The two oracles are
+complementary — the differential check catches wrong *end states*, the
+model checker catches protocol violations that happen not to corrupt this
+particular execution.
 """
 
 from __future__ import annotations
@@ -47,7 +60,7 @@ from repro.fault.oracle import (
 from repro.ir.module import Module
 from repro.isa.machine import MachineError
 
-FAILURE_STATUSES = ("mismatch", "silent-mismatch", "error")
+FAILURE_STATUSES = ("mismatch", "silent-mismatch", "model-violation", "error")
 
 
 @dataclass
@@ -65,6 +78,9 @@ class CampaignConfig:
     minimize: bool = True
     max_steps: int = 50_000_000
     params: Optional[SimParams] = None
+    #: run the online persistency checker (:mod:`repro.check`) as a second
+    #: oracle at every sweep point — see the module docstring.
+    check: bool = False
 
     @classmethod
     def from_spec(cls, spec, **overrides) -> "CampaignConfig":
@@ -80,6 +96,7 @@ class CampaignConfig:
             seed=spec.seed or cls.seed,
             max_steps=spec.max_steps,
             params=spec.params,
+            check=spec.check,
         )
         base.update(overrides)
         return cls(**base)
@@ -184,15 +201,50 @@ def run_sweep_point(
     config: CampaignConfig,
 ) -> CrashOutcome:
     """Crash at one event index, inject, recover, resume, judge."""
-    state, crashed_machine = run_until_crash_with_machine(
-        module,
-        spawns,
-        CrashPlan(event_index),
-        params=config.params,
-        threshold=config.threshold,
-        quantum=config.quantum,
-        max_steps=config.max_steps,
-    )
+    checker = None
+    if config.check:
+        from repro.arch.crash import run_built_until_crash
+        from repro.arch.system import build_system
+        from repro.check.checker import PersistencyChecker
+
+        crashed_machine, system = build_system(
+            module,
+            spawns,
+            params=config.params,
+            threshold=config.threshold,
+            quantum=config.quantum,
+        )
+        checker = PersistencyChecker.attach(system)
+        state = run_built_until_crash(
+            crashed_machine,
+            system,
+            CrashPlan(event_index),
+            max_steps=config.max_steps,
+            extra_observer=checker,
+        )
+        if state is None:
+            system.finish()
+            checker.finalize(system)
+        else:
+            # The capture precedes fault injection, so the crash-state
+            # check is valid for every model combination.
+            checker.check_crash_state(state)
+        if not checker.report.ok:
+            return CrashOutcome(
+                event_index,
+                "model-violation",
+                detail=checker.report.summary(),
+            )
+    else:
+        state, crashed_machine = run_until_crash_with_machine(
+            module,
+            spawns,
+            CrashPlan(event_index),
+            params=config.params,
+            threshold=config.threshold,
+            quantum=config.quantum,
+            max_steps=config.max_steps,
+        )
     if state is None:
         return CrashOutcome(event_index, "finished")
     pre_crash_io = list(crashed_machine.io_log)
@@ -218,6 +270,18 @@ def run_sweep_point(
         )
 
     report = recovered.report
+    if checker is not None and not notes:
+        # Second oracle: a *clean* recovery must land exactly on the
+        # model's committed prefix (faulted recoveries legitimately
+        # diverge — the differential oracle judges those).
+        checker.check_recovered(recovered)
+        if not checker.report.ok:
+            return CrashOutcome(
+                event_index,
+                "model-violation",
+                detail=checker.report.summary(),
+                findings=len(report.findings),
+            )
     try:
         finished = resume_and_finish(
             recovered,
@@ -320,6 +384,7 @@ def run_campaign(
                 minimize=False,
                 max_steps=config.max_steps,
                 params=config.params,
+                check=config.check,
             )
             outcome = run_sweep_point(
                 module, spawns, golden, index, get_models(model_names), probe

@@ -26,48 +26,15 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.arch.recovery import RecoveryReport
 from repro.ir.module import Module, is_ckpt_addr
 from repro.isa.machine import Machine
-from repro.isa.trace import Observer
+from repro.isa.trace import TickCountingObserver
 
 IoEvent = Tuple[int, int, int]  # (core, port, value)
 
-
-class EventCounter(Observer):
-    """Counts observer events exactly as the crash injector does — one
-    tick per delegated callback — so a golden run yields the campaign's
-    crash-point universe."""
-
-    def __init__(self) -> None:
-        self.events = 0
-
-    def _tick(self) -> None:
-        self.events += 1
-
-    def on_retire(self, core, kind):
-        self._tick()
-
-    def on_load(self, core, addr):
-        self._tick()
-
-    def on_store(self, core, addr, value, old):
-        self._tick()
-
-    def on_ckpt(self, core, reg, value, addr):
-        self._tick()
-
-    def on_boundary(self, core, region_id, continuation):
-        self._tick()
-
-    def on_fence(self, core):
-        self._tick()
-
-    def on_atomic(self, core, addr, value, old):
-        self._tick()
-
-    def on_io(self, core, port, value):
-        self._tick()
-
-    def on_halt(self, core):
-        self._tick()
+#: Counts observer events exactly as the crash injector does — one tick
+#: per delegated callback — so a golden run yields the campaign's
+#: crash-point universe.  The implementation lives with the other shared
+#: observers in :mod:`repro.isa.trace`; this name is kept for callers.
+EventCounter = TickCountingObserver
 
 
 def data_image(machine: Machine) -> Dict[int, int]:

@@ -11,6 +11,34 @@ callback set mirrors what the Capri architecture reacts to:
   Section 5.2.1),
 * region boundaries carrying the recovery continuation,
 * fences/atomics (persist-order points), and hart halts.
+
+Event-ordering contract
+-----------------------
+Observers (the Capri system, the persistency checker, the crash
+injector) may rely on the following, pinned by
+``tests/isa/test_trace_contract.py``:
+
+1. **Synchronous delivery.** The machine applies an instruction's
+   architectural effect and then invokes the observer callback before
+   executing the next instruction of that hart.  A store's ``old`` value
+   is the architectural value the store overwrote.
+2. **Per-core program order.** For a fixed core, ``on_store`` /
+   ``on_ckpt`` / ``on_boundary`` / ``on_atomic`` arrive exactly in that
+   hart's dynamic instruction order.  Events of *different* cores
+   interleave at quantum granularity with no cross-core ordering
+   promise.
+3. **Spawn prologue.** A hart's first events are its spawn-argument
+   ``on_ckpt`` calls followed by an implicit ``on_boundary`` with
+   ``region_id == -1`` — before any instruction of the hart retires.
+4. **Boundary-before-drain.** ``on_boundary(core, region, cont)`` is
+   delivered (and hence the persistence engine emits the region's
+   boundary entry) *before* any of that region's redo data may drain to
+   NVM: phase-2 drain is enabled only by a boundary entry reaching the
+   back-end buffer, which requires the boundary event first.
+5. **One tick per callback.** Crash indices (``CrashPlan.at_event``)
+   and golden-run event counts share the same universe: every callback,
+   including ``on_retire`` and ``on_halt``, counts as one event
+   (:class:`TickCountingObserver`).
 """
 
 from __future__ import annotations
@@ -138,3 +166,95 @@ class CountingObserver(Observer):
 
     def on_io(self, core, port, value):
         self.io_writes += 1
+
+
+class TickCountingObserver(Observer):
+    """Counts every delivered callback — one tick per event.
+
+    This is the crash-point universe: :class:`repro.arch.crash.CrashInjector`
+    ticks once per delegated callback, so a crash-free run under this
+    observer yields exactly the set of valid ``CrashPlan.at_event``
+    indices.  (Re-exported as ``repro.fault.oracle.EventCounter``.)
+    """
+
+    def __init__(self) -> None:
+        self.events = 0
+
+    def on_retire(self, core, kind):
+        self.events += 1
+
+    def on_load(self, core, addr):
+        self.events += 1
+
+    def on_store(self, core, addr, value, old):
+        self.events += 1
+
+    def on_ckpt(self, core, reg, value, addr):
+        self.events += 1
+
+    def on_boundary(self, core, region_id, continuation):
+        self.events += 1
+
+    def on_fence(self, core):
+        self.events += 1
+
+    def on_atomic(self, core, addr, value, old):
+        self.events += 1
+
+    def on_halt(self, core):
+        self.events += 1
+
+    def on_io(self, core, port, value):
+        self.events += 1
+
+
+class TeeObserver(Observer):
+    """Fan one event stream out to several observers, in order.
+
+    Each callback is delivered to every attached observer before the
+    machine proceeds; observers listed first see the event first.  The
+    persistency checker rides along the timing system this way —
+    ``TeeObserver(checker, system)`` lets the checker record the
+    architectural event *before* the system's persistence engine reacts
+    to it (so proxy-pipeline hook callbacks always find the checker's
+    model already up to date).
+    """
+
+    def __init__(self, *observers: Observer) -> None:
+        self.observers = tuple(observers)
+
+    def on_retire(self, core, kind):
+        for o in self.observers:
+            o.on_retire(core, kind)
+
+    def on_load(self, core, addr):
+        for o in self.observers:
+            o.on_load(core, addr)
+
+    def on_store(self, core, addr, value, old):
+        for o in self.observers:
+            o.on_store(core, addr, value, old)
+
+    def on_ckpt(self, core, reg, value, addr):
+        for o in self.observers:
+            o.on_ckpt(core, reg, value, addr)
+
+    def on_boundary(self, core, region_id, continuation):
+        for o in self.observers:
+            o.on_boundary(core, region_id, continuation)
+
+    def on_fence(self, core):
+        for o in self.observers:
+            o.on_fence(core)
+
+    def on_atomic(self, core, addr, value, old):
+        for o in self.observers:
+            o.on_atomic(core, addr, value, old)
+
+    def on_halt(self, core):
+        for o in self.observers:
+            o.on_halt(core)
+
+    def on_io(self, core, port, value):
+        for o in self.observers:
+            o.on_io(core, port, value)

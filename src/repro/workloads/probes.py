@@ -17,6 +17,9 @@ from repro.ir.module import Module
 #: Registry name of the streaming-write probe.
 STREAM_PROBE = "stream-write"
 
+#: Registry name of the hot-word + writeback-pressure probe.
+HOT_WRITEBACK_PROBE = "hot-writeback"
+
 
 def build_stream_probe(
     scale: float = 1.0, trips: int = None
@@ -33,6 +36,46 @@ def build_stream_probe(
         with f.for_range(trips) as i:
             addr = f.add(arr, f.shl(f.and_(i, words - 1), 3))
             f.store(i, addr)
+        f.ret()
+    verify_module(b.module)
+    return b.module, [("main", [])]
+
+
+def build_hot_writeback_probe(
+    scale: float = 1.0, trips: int = None
+) -> Tuple[Module, List[Tuple[str, Sequence[int]]]]:
+    """Address reuse inside the proxy pipeline's occupancy window.
+
+    Two behaviours the benchmark stand-ins almost never produce at
+    matched thresholds, both needed by the persistency checker's mutant
+    matrix (:mod:`repro.check.mutants`):
+
+    * **One store per cache line**, cycling a footprint larger than the
+      matrix's shrunken caches: every store allocates a line and evicts a
+      dirty one only a few tens of stores old — and with phase-2 drain
+      throttled by NVM write latency, the proxy FIFO still holds that
+      address's entry, so the regular-path writeback must invalidate a
+      *live* redo word (the Section 5.3.2 window the
+      ``drop_invalidation`` / ``invalidate_everything`` mutants break).
+    * **A hot accumulator word stored every iteration**: the previous
+      region's entry for it is still buffered (drain backlog) when the
+      next region stores it again — the cross-region merge window the
+      ``merge_across_regions`` mutant needs.
+    """
+    from repro.ir import IRBuilder, verify_module
+
+    if trips is None:
+        trips = int(1500 * scale)
+    b = IRBuilder(HOT_WRITEBACK_PROBE)
+    lines = 64  # 64 lines x 64 B = 4 KiB, larger than every matrix cache
+    arr = b.module.alloc("arr", lines * 8)
+    hot = b.module.alloc("hot", 1)
+    with b.function("main") as f:
+        with f.for_range(trips) as i:
+            word = f.shl(f.and_(i, lines - 1), 3)  # 8 words per line
+            addr = f.add(arr, f.shl(word, 3))
+            f.store(i, addr)
+            f.store(i, hot)
         f.ret()
     verify_module(b.module)
     return b.module, [("main", [])]

@@ -111,6 +111,7 @@ _register("oskernel", "os", oskernel.build_oskernel)
 # absent from SUITES, so the figure suites and ``workload_names`` are
 # unchanged.
 _register("stream-write", "probe", probes.build_stream_probe)
+_register("hot-writeback", "probe", probes.build_hot_writeback_probe)
 
 
 def get_workload(name: str) -> Workload:

@@ -1,0 +1,45 @@
+"""Planted-mutant matrix: the checker must catch what we plant.
+
+The full 12-mutant matrix runs in CI (`python -m repro check --mutants`);
+here a representative subset keeps the tier-1 suite fast while still
+covering each detection path: an online pipeline mutant, a
+boundary-metadata mutant, and a recovery-path mutant (crash/recover
+probes).
+"""
+
+import pytest
+
+from repro.check.mutants import (
+    MUTANT_EXPECTATIONS,
+    RECOVERY_MUTANTS,
+    run_mutant_matrix,
+)
+from repro.check.violations import ALL_KINDS
+
+
+def test_expectations_are_well_formed():
+    assert len(MUTANT_EXPECTATIONS) >= 10
+    for name, expected in MUTANT_EXPECTATIONS.items():
+        assert expected, name
+        for kind in expected:
+            assert kind in ALL_KINDS
+    for name in RECOVERY_MUTANTS:
+        assert name in MUTANT_EXPECTATIONS
+
+
+def test_unknown_mutant_is_rejected():
+    with pytest.raises(ValueError):
+        run_mutant_matrix(workloads=("genome",), mutants=("no_such_bug",))
+
+
+def test_matrix_subset_detects_with_correct_class():
+    subset = ("skip_undo_log", "skip_pc_checkpoint", "recovery_stale_pc")
+    result = run_mutant_matrix(
+        workloads=("genome",), scale=0.4, mutants=subset
+    )
+    assert result.baseline_ok, result.format()
+    for outcome in result.outcomes:
+        assert outcome.detected, outcome.format()
+        assert any(k in outcome.expected for k in outcome.kinds)
+        assert outcome.first is not None
+        assert outcome.first.kind in outcome.expected

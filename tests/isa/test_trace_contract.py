@@ -1,0 +1,118 @@
+"""Pins the observer event-ordering contract (repro.isa.trace docstring).
+
+Every downstream consumer — the Capri system, the crash injector, the
+persistency checker — relies on these properties; a machine change that
+breaks one must fail here, not in a flaky campaign.
+"""
+
+import pytest
+
+from repro.compiler import CapriCompiler, OptConfig
+from repro.isa.machine import Machine
+from repro.isa.trace import (
+    EV_BOUNDARY,
+    EV_CKPT,
+    EV_RETIRE,
+    EV_STORE,
+    CollectingObserver,
+    TeeObserver,
+    TickCountingObserver,
+)
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    module, spawns = get_workload("genome").build(0.15)
+    module = CapriCompiler(OptConfig.licm(64)).compile(module).module
+    return module, spawns
+
+
+def _run(module, spawns, observer):
+    machine = Machine(module, quantum=32)
+    for name, args in spawns:
+        machine.spawn(name, args)
+    machine.run(observer)
+    return machine
+
+
+def test_store_old_value_is_architectural(compiled):
+    """Rule 1: on_store's ``old`` is the value the store overwrote."""
+    module, spawns = compiled
+    obs = CollectingObserver()
+    _run(module, spawns, obs)
+    stores = obs.of_kind(EV_STORE)
+    assert stores, "workload must store"
+    last = {}
+    checked = 0
+    for _, core, addr, value, old in stores:
+        if addr in last:
+            assert old == last[addr], (
+                f"store to {addr:#x} reports old={old}, last written "
+                f"value was {last[addr]}"
+            )
+            checked += 1
+        last[addr] = value
+    assert checked > 0
+
+
+def test_per_core_event_order_is_deterministic(compiled):
+    """Rule 2: two identical runs deliver identical per-core streams."""
+    module, spawns = compiled
+    a, b = CollectingObserver(), CollectingObserver()
+    _run(module, spawns, a)
+    _run(module, spawns, b)
+    assert a.events == b.events
+
+
+def test_spawn_prologue_ckpts_then_spawn_boundary(compiled):
+    """Rule 3: a hart's first events are its spawn-argument checkpoints
+    followed by the implicit region_id == -1 boundary, before any
+    retire."""
+    module, spawns = compiled
+    obs = CollectingObserver()
+    _run(module, spawns, obs)
+    cores = {e[1] for e in obs.events}
+    for core in cores:
+        stream = [e for e in obs.events if e[1] == core]
+        i = 0
+        while i < len(stream) and stream[i][0] == EV_CKPT:
+            i += 1
+        assert i < len(stream) and stream[i][0] == EV_BOUNDARY
+        assert stream[i][2] == -1, "spawn boundary must carry region -1"
+        assert all(e[0] != EV_RETIRE for e in stream[:i])
+
+
+def test_tee_observer_is_transparent(compiled):
+    """TeeObserver delivers every event to every branch, in order."""
+    module, spawns = compiled
+    solo = CollectingObserver()
+    _run(module, spawns, solo)
+    first, second = CollectingObserver(), CollectingObserver()
+    _run(module, spawns, TeeObserver(first, second))
+    assert first.events == solo.events
+    assert second.events == solo.events
+
+
+def test_tick_counter_matches_crash_index_universe(compiled):
+    """Rule 5: one tick per callback — TickCountingObserver's total is
+    the number of events any observer sees (the CrashPlan universe)."""
+    module, spawns = compiled
+    tick, collect = TickCountingObserver(), CollectingObserver()
+    _run(module, spawns, TeeObserver(tick, collect))
+    assert tick.events == len(collect.events)
+
+
+def test_boundary_before_drain(compiled):
+    """Rule 4: no region's redo data drains before its boundary event.
+
+    Pinned end-to-end: the persistency checker's model flags any
+    pre-boundary drain as premature-persist, so a clean checked run is
+    the contract's witness.
+    """
+    from repro.check.mutants import checked_run, matrix_params
+
+    module, spawns = compiled
+    checker, error = checked_run(module, spawns, matrix_params(), 64)
+    assert error is None
+    assert checker.report.ok, checker.report.summary()
