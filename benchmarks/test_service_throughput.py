@@ -1,0 +1,96 @@
+"""Service benchmarks: request throughput and tail latency under crashes.
+
+Not a paper figure — this measures the reproduction's own multi-tenant
+front-end (:mod:`repro.service`), so regressions in the request path,
+the recovery path, or the snapshot path show up in CI.  Three shapes:
+
+* clean single-tenant serving (the request-path floor),
+* a crash-injected fleet (the p99 story: recoveries ride in the tail),
+* tenant recovery in isolation (boot-from-snapshot latency).
+
+Each benchmark also asserts the durability contract the loadgen
+enforces: zero acked-write losses, zero silently dropped requests.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.service.backends import MemoryBackend
+from repro.service.loadgen import LoadgenConfig, run_loadgen
+from repro.service.tenant import Request, Tenant, TenantConfig
+
+
+def _campaign(config):
+    return asyncio.run(run_loadgen(config))
+
+
+def test_clean_serving_throughput(benchmark):
+    """One tenant, one client, no crashes: the request-path floor."""
+    report = benchmark.pedantic(
+        lambda: _campaign(LoadgenConfig(
+            tenants=1, clients_per_tenant=1, requests=150, crashes=0,
+            seed=0, snapshot_every=0,
+        )),
+        rounds=3, iterations=1,
+    )
+    assert report.ok
+    assert report.stats["acked"] >= 150
+    benchmark.extra_info["rps"] = report.to_dict()["throughput_rps"]
+    benchmark.extra_info["p50_ms"] = report.stats["latency"]["p50_ms"]
+
+
+def test_fleet_under_crashes(benchmark):
+    """Eight tenants, injected power failures: p99 absorbs recovery."""
+    report = benchmark.pedantic(
+        lambda: _campaign(LoadgenConfig(
+            tenants=8, clients_per_tenant=2, requests=320, crashes=6,
+            seed=2, snapshot_every=4,
+        )),
+        rounds=2, iterations=1,
+    )
+    assert report.ok, report.acked_losses
+    assert report.silent_drops == 0
+    assert report.stats["crashes"] > 0
+    assert report.stats["recoveries"] == report.stats["crashes"]
+    stats = report.stats
+    benchmark.extra_info["p50_ms"] = stats["latency"]["p50_ms"]
+    benchmark.extra_info["p99_ms"] = stats["latency"]["p99_ms"]
+    benchmark.extra_info["crashes"] = stats["crashes"]
+    benchmark.extra_info["recovery_p50_ms"] = (
+        stats["recovery_latency"]["p50_ms"]
+    )
+
+
+def test_snapshot_per_request_overhead(benchmark):
+    """snapshot_every=1 (a backend write per ack) vs the floor — the
+    cost of continuous durability, not allowed to explode."""
+    report = benchmark.pedantic(
+        lambda: _campaign(LoadgenConfig(
+            tenants=2, clients_per_tenant=1, requests=100, crashes=0,
+            seed=0, snapshot_every=1,
+        )),
+        rounds=2, iterations=1,
+    )
+    assert report.ok
+    assert report.stats["snapshots"] >= report.stats["acked"]
+    benchmark.extra_info["p50_ms"] = report.stats["latency"]["p50_ms"]
+
+
+def test_tenant_recovery_latency(benchmark):
+    """Boot-from-snapshot through the stock recovery protocol."""
+    backend = MemoryBackend()
+    seed = Tenant("bench", backend, config=TenantConfig(snapshot_every=0))
+    seed.boot()
+    for key in range(1, 33):
+        seed.apply(Request("put", key=key, value=key * 3))
+    seed.save_snapshot()
+
+    def recover_once():
+        tenant = Tenant("bench", backend,
+                        config=TenantConfig(snapshot_every=0))
+        assert tenant.boot() is True
+        return tenant
+
+    tenant = benchmark(recover_once)
+    assert len(tenant.table()) == 32

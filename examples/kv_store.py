@@ -4,15 +4,18 @@
 The paper's motivation (Section 1): under partial-system persistence,
 only specially-written programs — in-memory databases, key-value stores
 with custom durable data structures and recovery code — get crash
-consistency.  Capri inverts that: here is an ordinary open-addressing
-hash table written with no transactions, no pmalloc, no flushes, no
-recovery code whatsoever, made whole-system persistent by compiling it
-with the Capri compiler.
+consistency.  Capri inverts that: an ordinary open-addressing hash table
+with no transactions, no pmalloc, no flushes and no recovery code is
+made whole-system persistent by compiling it with the Capri compiler.
 
-The demo applies a workload of puts/deletes, kills the power mid-flight
-several times, recovers, and shows the final table matches an
-uninterrupted run exactly — including tombstones and probe chains, the
-classic prey of torn hash-table updates.
+The table itself lives in the workload registry
+(:mod:`repro.workloads.kvstore`, registry name ``kv_store``) so sweeps,
+fault campaigns, the persistency checker, and the multi-tenant service
+front-end (``python -m repro serve``) all share this one builder; this
+script is the single-machine demo: apply a workload of puts/deletes,
+kill the power mid-flight several times, recover, and show the final
+table matches an uninterrupted run exactly — including tombstones and
+probe chains, the classic prey of torn hash-table updates.
 
 Run:  python examples/kv_store.py
 """
@@ -22,93 +25,19 @@ from repro.arch.crash import CrashInjector, CrashPlan, PowerFailure
 from repro.arch.recovery import prepare_resumed_run, recover
 from repro.arch.system import CapriSystem
 from repro.compiler import CapriCompiler, OptConfig
-from repro.ir import IRBuilder, verify_module
 from repro.ir.module import is_ckpt_addr
 from repro.isa import Machine
+from repro.workloads.kvstore import build_kv_service_module, dump_table
 
-TABLE_SLOTS = 128  # power of two; each slot: [key, value]
-EMPTY = 0
-TOMBSTONE = -1
 NUM_OPS = 220
-
-
-def build_kv():
-    """put/delete over linear-probing open addressing — plain code."""
-    b = IRBuilder("kv_store")
-    table = b.module.alloc("table", 2 * TABLE_SLOTS)
-    stats = b.module.alloc("stats", 4)  # [puts, deletes, misses, probes]
-
-    def slot_addr(f, idx):
-        return f.add(table, f.shl(f.mul(idx, 2), 3))
-
-    with b.function("kv_put", params=["key", "value"]) as f:
-        h = f.mul(f.param(0), 0x9E3779B1)
-        idx = f.and_(f.xor(h, f.shr(h, 16)), TABLE_SLOTS - 1)
-        with f.for_range(TABLE_SLOTS) as probe:
-            addr = slot_addr(f, idx)
-            k = f.load(addr)
-            empty = f.or_(f.cmp("seq", k, EMPTY), f.cmp("seq", k, TOMBSTONE))
-            hit = f.cmp("seq", k, f.param(0))
-            with f.if_then(f.or_(empty, hit)):
-                f.store(f.param(0), addr)  # two plain stores: the torn-
-                f.store(f.param(1), addr, offset=8)  # write hazard, solved
-                f.store(f.add(f.load(stats), 1), stats)
-                f.ret(1)
-            f.add(idx, 1, dst=idx)
-            f.and_(idx, TABLE_SLOTS - 1, dst=idx)
-            f.store(f.add(f.load(stats, offset=24), 1), stats, offset=24)
-        f.ret(0)  # table full
-
-    with b.function("kv_delete", params=["key"]) as f:
-        h = f.mul(f.param(0), 0x9E3779B1)
-        idx = f.and_(f.xor(h, f.shr(h, 16)), TABLE_SLOTS - 1)
-        with f.for_range(TABLE_SLOTS):
-            addr = slot_addr(f, idx)
-            k = f.load(addr)
-            with f.if_then(f.cmp("seq", k, f.param(0))):
-                f.store(TOMBSTONE, addr)
-                f.store(0, addr, offset=8)
-                f.store(f.add(f.load(stats, offset=8), 1), stats, offset=8)
-                f.ret(1)
-            with f.if_then(f.cmp("seq", k, EMPTY)):
-                f.store(f.add(f.load(stats, offset=16), 1), stats, offset=16)
-                f.ret(0)  # not present
-            f.add(idx, 1, dst=idx)
-            f.and_(idx, TABLE_SLOTS - 1, dst=idx)
-        f.ret(0)
-
-    with b.function("main", params=["ops"]) as f:
-        rng = f.li(0xBEEF)
-        with f.for_range(f.param(0)):
-            f.mul(rng, 0x9E3779B1, dst=rng)
-            f.xor(rng, f.shr(rng, 13), dst=rng)
-            key = f.add(f.and_(rng, 63), 1)  # keys 1..64
-            kind = f.and_(f.shr(rng, 20), 3)
-            with f.if_else(f.cmp("seq", kind, 0)) as br:
-                f.call("kv_delete", [key], returns=True)
-                br.otherwise()
-                value = f.and_(f.shr(rng, 8), 0xFFFF)
-                f.call("kv_put", [key, value], returns=True)
-        f.ret()
-    verify_module(b.module)
-    return b.module, table, stats
 
 
 def data_state(machine):
     return {a: v for a, v in machine.memory.items() if not is_ckpt_addr(a)}
 
 
-def dump_table(memory, table):
-    live = {}
-    for i in range(TABLE_SLOTS):
-        k = memory.get(table + 16 * i, 0)
-        if k not in (EMPTY, TOMBSTONE):
-            live[k] = memory.get(table + 16 * i + 8, 0)
-    return live
-
-
 def main() -> None:
-    module, table, stats = build_kv()
+    module, layout = build_kv_service_module()
     capri = CapriCompiler(OptConfig.licm(256)).compile(module, validate=True).module
     spawns = [("main", [NUM_OPS])]
     params = SimParams.scaled()
@@ -118,10 +47,10 @@ def main() -> None:
     ref.spawn("main", [NUM_OPS])
     ref.run()
     ref_state = data_state(ref)
-    ref_table = dump_table(ref.memory, table)
+    ref_table = dump_table(ref.memory, layout)
     print(f"reference run: {len(ref_table)} live keys, "
-          f"{ref.memory.get(stats, 0)} puts, "
-          f"{ref.memory.get(stats + 8, 0)} deletes")
+          f"{ref.memory.get(layout.stats, 0)} puts, "
+          f"{ref.memory.get(layout.stats + 8, 0)} deletes")
 
     # Crash-ridden run.
     machine = Machine(capri)
@@ -145,7 +74,7 @@ def main() -> None:
             continue
         break
 
-    final_table = dump_table(machine.memory, table)
+    final_table = dump_table(machine.memory, layout)
     exact = data_state(machine) == ref_state
     print(f"\nsurvived {crashes} power failures mid-put/mid-delete")
     print(f"final table identical to crash-free run: {exact}")

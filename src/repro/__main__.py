@@ -8,6 +8,8 @@ profile    workload characterisation tables
 report     one-shot full evaluation report (all figures + analyses)
 figures    individual paper figures (fig8, fig9, …)
 ablations  hardware-parameter ablation sweeps
+serve      async multi-tenant persistence service over TCP
+loadgen    crash-injected traffic generator for the service
 ========   ==========================================================
 
 Each subcommand delegates to the existing module (``repro.sweep.cli``,
@@ -33,6 +35,8 @@ subcommands:
   report     one-shot full evaluation report
   figures    individual paper figures (fig8, fig9, ...)
   ablations  hardware-parameter ablation sweeps
+  serve      async multi-tenant persistence service over TCP
+  loadgen    crash-injected traffic generator for the service
 
 `python -m repro <subcommand> --help` shows the subcommand's options.
 """
@@ -53,6 +57,10 @@ def _dispatch(command: str):
         from repro.eval.figures import main
     elif command == "ablations":
         from repro.eval.ablations import main
+    elif command == "serve":
+        from repro.service.server import main
+    elif command == "loadgen":
+        from repro.service.loadgen import main
     else:
         return None
     return main

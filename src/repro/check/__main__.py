@@ -63,6 +63,7 @@ def _sanitized(args, parser) -> int:
     params = matrix_params() if args.matrix_params else SimParams.scaled()
 
     failures = 0
+    records = []
     for name in names:
         for threshold in thresholds:
             start = time.perf_counter()
@@ -80,12 +81,37 @@ def _sanitized(args, parser) -> int:
                 f"{report.summary()}  ({wall:.1f}s)"
                 + (f"  [{error}]" if error else "")
             )
+            records.append({
+                "workload": name,
+                "threshold": threshold,
+                "ok": ok,
+                "events": report.events,
+                "checks": report.checks,
+                "violations": len(report.violations),
+                "violation_kinds": report.kinds(),
+                "suppressed": report.suppressed,
+                "wall_s": round(wall, 3),
+                "error": error,
+            })
             if not ok:
                 failures += 1
                 print(report.format())
     verdict = "PASS" if failures == 0 else f"FAIL ({failures} run(s) violated)"
     print(f"sanitized runs: {len(names)} workload(s) x "
           f"{len(thresholds)} threshold(s) — {verdict}")
+    if args.stats_json:
+        import json
+        payload = {
+            "mode": "sanitized",
+            "verdict": verdict,
+            "failures": failures,
+            "events": sum(r["events"] for r in records),
+            "checks": sum(r["checks"] for r in records),
+            "runs": records,
+        }
+        with open(args.stats_json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"checker stats written to {args.stats_json}")
     return 0 if failures == 0 else 1
 
 
@@ -159,6 +185,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--mutant",
         help="comma-separated mutant subset for --mutants "
         f"(known: {', '.join(MUTANT_EXPECTATIONS)})",
+    )
+    parser.add_argument(
+        "--stats-json",
+        metavar="PATH",
+        help="write per-run checker statistics (events, checks, "
+        "violations, wall time) to PATH as JSON (sanitized mode only)",
     )
     args = parser.parse_args(argv)
 

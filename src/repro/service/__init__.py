@@ -1,0 +1,52 @@
+"""Persistent-memory-as-a-service: the async multi-tenant front-end.
+
+The stack beneath this package simulates one Capri machine at a time.
+This package makes it *connectable*: a long-running asyncio service that
+hosts many independent Capri machines — one persistence domain per
+tenant — behind a request API, where crash recovery is simply the
+restart path (execution transparently resumed after a power failure).
+
+Modules
+-------
+state       durable-snapshot codec: CrashState <-> JSON payload
+backends    pluggable tenant-state stores (memory / disk / sharded)
+tenant      one Capri machine serving per-operation requests
+mailbox     bounded per-tenant queues, backpressure, dead letters
+metrics     per-tenant counters and p50/p99 latency reservoirs
+chaos       deterministic power-failure schedules for testing
+service     the asyncio front-end: tenant manager + supervisor
+server      a line-oriented TCP endpoint (``python -m repro serve``)
+loadgen     traffic generator with injected power failures
+            (``python -m repro loadgen``)
+"""
+
+from repro.service.backends import (
+    DiskBackend,
+    MemoryBackend,
+    ShardedBackend,
+    StateBackend,
+    make_backend,
+)
+from repro.service.chaos import CrashSchedule
+from repro.service.mailbox import DeadLetter, DeadLetterQueue, Mailbox, MailboxFull
+from repro.service.service import Service, ServiceConfig
+from repro.service.tenant import Reply, Request, Tenant, TenantConfig
+
+__all__ = [
+    "CrashSchedule",
+    "DeadLetter",
+    "DeadLetterQueue",
+    "DiskBackend",
+    "Mailbox",
+    "MailboxFull",
+    "MemoryBackend",
+    "Reply",
+    "Request",
+    "Service",
+    "ServiceConfig",
+    "ShardedBackend",
+    "StateBackend",
+    "Tenant",
+    "TenantConfig",
+    "make_backend",
+]

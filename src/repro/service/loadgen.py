@@ -1,0 +1,349 @@
+"""Traffic generator with injected power failures.
+
+Drives N tenants x M clients of mixed put/get/delete traffic through a
+:class:`~repro.service.service.Service` while a seeded
+:class:`~repro.service.chaos.CrashSchedule` cuts power mid-request, then
+proves the service-level durability contract:
+
+* **every acked write survives recovery** — after the run, each tenant's
+  table is re-derived through a simulated final power failure + stock
+  recovery and compared against a model rebuilt from the acked replies
+  (ordered by ``applied_seq``, the tenant-local execution order, so
+  concurrent clients don't confuse the oracle);
+* **no in-flight request is silently dropped** — every captured dead
+  letter ends ``replayed`` (acked) or ``dead`` (surfaced); a ``dead``
+  letter's key becomes *indeterminate* in the model (the op may or may
+  not have landed before the failure) but is never allowed to corrupt
+  other keys.
+
+Run it with ``python -m repro loadgen``; the report prints p50/p99
+request latency, recovery counts and latency, and the verification
+verdict.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.service.chaos import CrashSchedule
+from repro.service.metrics import log_line
+from repro.service.service import Service, ServiceConfig
+from repro.service.tenant import Reply, Request, TenantConfig
+
+
+@dataclass
+class LoadgenConfig:
+    """One campaign's shape."""
+
+    tenants: int = 8
+    clients_per_tenant: int = 4
+    requests: int = 1000  # total, spread across tenants/clients
+    crashes: int = 5
+    seed: int = 0
+    key_space: int = 40
+    backend: str = "memory"
+    state_dir: Optional[str] = None
+    shards: int = 4
+    shard_workers: int = 0
+    mailbox_depth: int = 64
+    policy: str = "queue"
+    threshold: int = 64
+    slots: int = 128
+    snapshot_every: int = 4
+    log_interval: float = 0.0
+    #: put / get / delete weights.
+    mix: Tuple[int, int, int] = (5, 3, 2)
+
+
+@dataclass
+class LoadgenReport:
+    """What a campaign did and whether the contract held."""
+
+    config: LoadgenConfig
+    wall_s: float
+    stats: Dict[str, Any]
+    acked_losses: List[str] = field(default_factory=list)
+    silent_drops: int = 0
+    verified_tenants: int = 0
+    indeterminate_keys: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.acked_losses and self.silent_drops == 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "wall_s": round(self.wall_s, 3),
+            "tenants": self.config.tenants,
+            "requests": self.stats["requests"],
+            "acked": self.stats["acked"],
+            "rejected": self.stats["rejected"],
+            "replayed": self.stats["replayed"],
+            "crashes": self.stats["crashes"],
+            "recoveries": self.stats["recoveries"],
+            "dead_letters": self.stats["dead_letters"],
+            "latency": self.stats["latency"],
+            "recovery_latency": self.stats["recovery_latency"],
+            "throughput_rps": round(self.stats["acked"] / self.wall_s, 1)
+            if self.wall_s else 0.0,
+            "verified_tenants": self.verified_tenants,
+            "indeterminate_keys": self.indeterminate_keys,
+            "acked_losses": self.acked_losses,
+            "silent_drops": self.silent_drops,
+        }
+
+    def summary(self) -> str:
+        d = self.to_dict()
+        lines = [
+            "repro.service loadgen report",
+            f"  tenants={d['tenants']} requests={d['requests']} "
+            f"acked={d['acked']} rejected={d['rejected']} "
+            f"replayed={d['replayed']}",
+            f"  crashes={d['crashes']} recoveries={d['recoveries']} "
+            f"dead_letters={d['dead_letters']}",
+            f"  latency p50={d['latency']['p50_ms']:.2f}ms "
+            f"p99={d['latency']['p99_ms']:.2f}ms "
+            f"max={d['latency']['max_ms']:.2f}ms",
+            f"  recovery p50={d['recovery_latency']['p50_ms']:.2f}ms "
+            f"p99={d['recovery_latency']['p99_ms']:.2f}ms "
+            f"(n={d['recovery_latency']['count']})",
+            f"  throughput={d['throughput_rps']} acked req/s "
+            f"over {d['wall_s']}s",
+            f"  verification: {d['verified_tenants']} tenants exact, "
+            f"{d['indeterminate_keys']} indeterminate keys, "
+            f"{len(d['acked_losses'])} acked-write losses, "
+            f"{d['silent_drops']} silent drops",
+            f"  verdict: {'OK' if self.ok else 'DURABILITY VIOLATION'}",
+        ]
+        return "\n".join(lines)
+
+
+def _make_ops(
+    config: LoadgenConfig, tenant_id: str, client: int
+) -> List[Request]:
+    """One client's deterministic request script."""
+    # str seeds are hashed deterministically (sha512), unlike tuple hash.
+    rng = random.Random(f"{config.seed}:{tenant_id}:{client}")
+    per_client = config.requests // (config.tenants * config.clients_per_tenant)
+    weights = config.mix
+    ops = []
+    for i in range(max(per_client, 1)):
+        key = rng.randrange(1, config.key_space + 1)
+        kind = rng.choices(("put", "get", "delete"), weights=weights)[0]
+        value = rng.randrange(1, 1 << 30) if kind == "put" else 0
+        ops.append(Request(kind, key=key, value=value))
+    return ops
+
+
+async def _client(
+    service: Service,
+    tenant_id: str,
+    ops: List[Request],
+    acked: List[Tuple[Request, Reply]],
+) -> None:
+    for request in ops:
+        reply = await service.submit(tenant_id, request)
+        if reply.ok:
+            acked.append((request, reply))
+        # Rejected / failed requests carry their own explicit status;
+        # the oracle only models acked mutations.
+
+
+def _expected_table(
+    acked: List[Tuple[Request, Reply]]
+) -> Dict[int, int]:
+    """Rebuild the table from acked mutations in execution order."""
+    model: Dict[int, int] = {}
+    mutations = [
+        (reply.applied_seq, request)
+        for request, reply in acked
+        if request.op in ("put", "delete")
+    ]
+    for _, request in sorted(mutations, key=lambda item: item[0]):
+        if request.op == "put":
+            model[request.key] = request.value
+        else:
+            model.pop(request.key, None)
+    return model
+
+
+def _check_tenant(
+    tenant_id: str,
+    acked: List[Tuple[Request, Reply]],
+    recovered: Dict[int, int],
+    dead_keys: Set[int],
+) -> Tuple[List[str], int]:
+    """Compare the post-recovery table against the acked-op model.
+
+    Keys touched by a dead letter are indeterminate (the op's fate was
+    surfaced, not hidden) — excluded from the exact comparison but still
+    counted.  Everything else must match exactly: a missing or stale
+    value for an acked put is an acked-write loss.
+    """
+    model = _expected_table(acked)
+    losses: List[str] = []
+    for key in sorted(set(model) | set(recovered)):
+        if key in dead_keys:
+            continue
+        want = model.get(key)
+        got = recovered.get(key)
+        if want != got:
+            losses.append(
+                f"{tenant_id}: key {key} expected {want!r} got {got!r}"
+            )
+    return losses, len(dead_keys)
+
+
+async def run_loadgen(config: LoadgenConfig) -> LoadgenReport:
+    """Run one campaign and verify the durability contract."""
+    tenant_ids = [f"t{i}" for i in range(config.tenants)]
+    per_client = max(
+        config.requests // (config.tenants * config.clients_per_tenant), 1
+    )
+    chaos = CrashSchedule.plan(
+        tenant_ids,
+        crashes=config.crashes,
+        requests_per_tenant=per_client * config.clients_per_tenant,
+        seed=config.seed,
+    )
+    service = Service(
+        ServiceConfig(
+            tenant_ids=tenant_ids,
+            backend=config.backend,
+            state_dir=config.state_dir,
+            shards=config.shards,
+            shard_workers=config.shard_workers,
+            mailbox_depth=config.mailbox_depth,
+            policy=config.policy,
+            tenant=TenantConfig(
+                threshold=config.threshold,
+                slots=config.slots,
+                snapshot_every=config.snapshot_every,
+            ),
+            log_interval=config.log_interval,
+        ),
+        chaos=chaos,
+    )
+    await service.start()
+    acked: Dict[str, List[Tuple[Request, Reply]]] = {
+        tid: [] for tid in tenant_ids
+    }
+    start = time.perf_counter()
+    tasks = [
+        _client(service, tid, _make_ops(config, tid, c), acked[tid])
+        for tid in tenant_ids
+        for c in range(config.clients_per_tenant)
+    ]
+    await asyncio.gather(*tasks)
+    wall = time.perf_counter() - start
+
+    # -- the contract --------------------------------------------------------
+    # 1. No silent drops: every captured letter has a terminal status.
+    counts = service.dead_letters.counts()
+    silent = counts["captured"]
+
+    # 2. Every acked write survives a final power failure + recovery.
+    recovered_tables = service.verify_recovered()
+    losses: List[str] = []
+    indeterminate = 0
+    verified = 0
+    for tid in tenant_ids:
+        dead_keys = {
+            letter.request.key
+            for letter in service.dead_letters.dead(tid)
+            if letter.request.op in ("put", "delete")
+        }
+        tenant_losses, ind = _check_tenant(
+            tid, acked[tid], recovered_tables[tid], dead_keys
+        )
+        losses.extend(tenant_losses)
+        indeterminate += ind
+        if not tenant_losses:
+            verified += 1
+
+    stats = service.stats()
+    await service.stop()
+    return LoadgenReport(
+        config=config,
+        wall_s=wall,
+        stats=stats,
+        acked_losses=losses,
+        silent_drops=silent,
+        verified_tenants=verified,
+        indeterminate_keys=indeterminate,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro loadgen",
+        description="Drive a repro.service fleet with crash-injected traffic "
+        "and verify that every acked write survives recovery.",
+    )
+    parser.add_argument("--tenants", type=int, default=8)
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent clients per tenant")
+    parser.add_argument("--requests", type=int, default=1000,
+                        help="total requests across the fleet")
+    parser.add_argument("--crashes", type=int, default=5,
+                        help="power failures to inject")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--key-space", type=int, default=40)
+    parser.add_argument("--backend", default="memory",
+                        choices=["memory", "disk", "sharded"])
+    parser.add_argument("--state-dir", default=None)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--mailbox-depth", type=int, default=64)
+    parser.add_argument("--policy", default="queue",
+                        choices=["queue", "reject"])
+    parser.add_argument("--threshold", type=int, default=64)
+    parser.add_argument("--snapshot-every", type=int, default=4)
+    parser.add_argument("--log-interval", type=float, default=0.0)
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as JSON on stdout")
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> LoadgenConfig:
+    if args.backend in ("disk", "sharded") and not args.state_dir:
+        raise SystemExit(f"--backend {args.backend} requires --state-dir")
+    return LoadgenConfig(
+        tenants=args.tenants,
+        clients_per_tenant=args.clients,
+        requests=args.requests,
+        crashes=args.crashes,
+        seed=args.seed,
+        key_space=args.key_space,
+        backend=args.backend,
+        state_dir=args.state_dir,
+        shards=args.shards,
+        mailbox_depth=args.mailbox_depth,
+        policy=args.policy,
+        threshold=args.threshold,
+        snapshot_every=args.snapshot_every,
+        log_interval=args.log_interval,
+    )
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = config_from_args(args)
+    report = asyncio.run(run_loadgen(config))
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+        print(log_line(report.stats), file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,124 @@
+"""Bounded per-tenant mailboxes and the dead-letter queue.
+
+Backpressure is a *policy*, chosen per service:
+
+* ``queue`` — ``submit`` awaits until the mailbox has room (clients are
+  throttled to the tenant's service rate),
+* ``reject`` — a full mailbox fails the submit immediately with
+  :class:`MailboxFull` (load shedding; the service turns it into a
+  rejected reply, never a dropped one).
+
+The dead-letter queue is the service's no-silent-loss ledger: a request
+in flight when the power fails is captured here *before* recovery
+starts; after recovery it is replayed, and the entry is marked
+``replayed`` (acked to the client) or left ``dead`` (surfaced in
+``stats``).  Either way the request's fate is observable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: DeadLetter.status values.
+CAPTURED = "captured"
+REPLAYED = "replayed"
+DEAD = "dead"
+
+_POLICIES = ("queue", "reject")
+
+
+class MailboxFull(Exception):
+    """Raised by ``reject``-policy mailboxes when at capacity."""
+
+
+class Mailbox:
+    """An asyncio queue with a depth bound, a policy, and depth metrics."""
+
+    def __init__(self, depth: int = 64, policy: str = "queue") -> None:
+        if depth < 1:
+            raise ValueError("mailbox depth must be >= 1")
+        if policy not in _POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; known: {_POLICIES}")
+        self.depth = depth
+        self.policy = policy
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=depth)
+        self.max_depth = 0
+        self.enqueued = 0
+        self.rejected = 0
+
+    def qsize(self) -> int:
+        return self._queue.qsize()
+
+    async def put(self, item: Any) -> None:
+        if self.policy == "reject":
+            try:
+                self._queue.put_nowait(item)
+            except asyncio.QueueFull:
+                self.rejected += 1
+                raise MailboxFull(
+                    f"mailbox at capacity ({self.depth})"
+                ) from None
+        else:
+            await self._queue.put(item)
+        self.enqueued += 1
+        self.max_depth = max(self.max_depth, self._queue.qsize())
+
+    async def get(self) -> Any:
+        return await self._queue.get()
+
+
+@dataclass
+class DeadLetter:
+    """One captured in-flight request."""
+
+    seq: int
+    tenant_id: str
+    request: Any
+    reason: str
+    status: str = CAPTURED
+    attempts: int = 0
+    detail: str = ""
+
+
+@dataclass
+class DeadLetterQueue:
+    """Service-wide ledger of requests interrupted by power failures."""
+
+    letters: List[DeadLetter] = field(default_factory=list)
+    _seq: "itertools.count" = field(default_factory=itertools.count)
+
+    def capture(self, tenant_id: str, request: Any, reason: str) -> DeadLetter:
+        letter = DeadLetter(
+            seq=next(self._seq),
+            tenant_id=tenant_id,
+            request=request,
+            reason=reason,
+        )
+        self.letters.append(letter)
+        return letter
+
+    def mark_replayed(self, letter: DeadLetter, attempts: int) -> None:
+        letter.status = REPLAYED
+        letter.attempts = attempts
+
+    def mark_dead(self, letter: DeadLetter, attempts: int, detail: str) -> None:
+        letter.status = DEAD
+        letter.attempts = attempts
+        letter.detail = detail
+
+    # -- queries -------------------------------------------------------------
+
+    def dead(self, tenant_id: Optional[str] = None) -> List[DeadLetter]:
+        return [
+            l for l in self.letters
+            if l.status == DEAD and (tenant_id is None or l.tenant_id == tenant_id)
+        ]
+
+    def counts(self) -> Dict[str, int]:
+        out = {CAPTURED: 0, REPLAYED: 0, DEAD: 0}
+        for letter in self.letters:
+            out[letter.status] += 1
+        return out

@@ -1,0 +1,161 @@
+"""Live service metrics: counters plus bounded latency reservoirs.
+
+Latencies are kept in fixed-size uniform reservoirs (Vitter's
+algorithm R, seeded per reservoir) so a million-request run reports
+p50/p99 without unbounded memory — the same trick the workload
+characterisation tables use (:mod:`repro.compiler.stats`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Linear-interpolated percentile over an unsorted sample.
+
+    Float-safe lerp (clamped index arithmetic), matching the convention
+    in :mod:`repro.compiler.stats`.
+    """
+    if not values:
+        return 0.0
+    data = sorted(values)
+    if len(data) == 1:
+        return float(data[0])
+    pos = (len(data) - 1) * (q / 100.0)
+    lo = min(int(pos), len(data) - 2)
+    frac = min(max(pos - lo, 0.0), 1.0)
+    return data[lo] * (1.0 - frac) + data[lo + 1] * frac
+
+
+class LatencyReservoir:
+    """Bounded uniform sample of a latency stream (seconds)."""
+
+    def __init__(self, capacity: int = 4096, seed: int = 0) -> None:
+        self.capacity = capacity
+        self.count = 0
+        self.total = 0.0
+        self.max_value = 0.0
+        self._sample: List[float] = []
+        self._rng = random.Random(seed)
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.max_value = max(self.max_value, value)
+        if len(self._sample) < self.capacity:
+            self._sample.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.capacity:
+                self._sample[slot] = value
+
+    def percentile(self, q: float) -> float:
+        return percentile(self._sample, q)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_ms": self.mean * 1e3,
+            "p50_ms": self.percentile(50) * 1e3,
+            "p99_ms": self.percentile(99) * 1e3,
+            "max_ms": self.max_value * 1e3,
+        }
+
+
+@dataclass
+class TenantMetrics:
+    """One tenant's live counters."""
+
+    tenant_id: str
+    requests: int = 0
+    acked: int = 0
+    failed: int = 0
+    rejected: int = 0
+    replayed: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+    snapshots: int = 0
+    by_op: Dict[str, int] = field(default_factory=dict)
+    latency: LatencyReservoir = field(default_factory=LatencyReservoir)
+    recovery_latency: LatencyReservoir = field(
+        default_factory=lambda: LatencyReservoir(capacity=1024)
+    )
+    mailbox_depth: int = 0
+    mailbox_max_depth: int = 0
+
+    def note_op(self, op: str) -> None:
+        self.requests += 1
+        self.by_op[op] = self.by_op.get(op, 0) + 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "tenant": self.tenant_id,
+            "requests": self.requests,
+            "acked": self.acked,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "replayed": self.replayed,
+            "crashes": self.crashes,
+            "recoveries": self.recoveries,
+            "snapshots": self.snapshots,
+            "by_op": dict(self.by_op),
+            "latency": self.latency.to_dict(),
+            "recovery_latency": self.recovery_latency.to_dict(),
+            "mailbox_depth": self.mailbox_depth,
+            "mailbox_max_depth": self.mailbox_max_depth,
+        }
+
+
+def aggregate(per_tenant: List[TenantMetrics]) -> Dict[str, Any]:
+    """Service-wide rollup for the stats endpoint and the periodic log."""
+    out: Dict[str, Any] = {
+        "tenants": len(per_tenant),
+        "requests": sum(m.requests for m in per_tenant),
+        "acked": sum(m.acked for m in per_tenant),
+        "failed": sum(m.failed for m in per_tenant),
+        "rejected": sum(m.rejected for m in per_tenant),
+        "replayed": sum(m.replayed for m in per_tenant),
+        "crashes": sum(m.crashes for m in per_tenant),
+        "recoveries": sum(m.recoveries for m in per_tenant),
+        "snapshots": sum(m.snapshots for m in per_tenant),
+        "mailbox_depth": sum(m.mailbox_depth for m in per_tenant),
+        "mailbox_max_depth": max(
+            (m.mailbox_max_depth for m in per_tenant), default=0
+        ),
+    }
+    lat: List[float] = []
+    rec: List[float] = []
+    for m in per_tenant:
+        lat.extend(m.latency._sample)
+        rec.extend(m.recovery_latency._sample)
+    out["latency"] = {
+        "count": sum(m.latency.count for m in per_tenant),
+        "p50_ms": percentile(lat, 50) * 1e3,
+        "p99_ms": percentile(lat, 99) * 1e3,
+        "max_ms": max((m.latency.max_value for m in per_tenant), default=0.0) * 1e3,
+    }
+    out["recovery_latency"] = {
+        "count": sum(m.recovery_latency.count for m in per_tenant),
+        "p50_ms": percentile(rec, 50) * 1e3,
+        "p99_ms": percentile(rec, 99) * 1e3,
+    }
+    return out
+
+
+def log_line(stats: Dict[str, Any]) -> str:
+    """The one-line periodic health summary."""
+    lat = stats["latency"]
+    return (
+        f"[repro.service] tenants={stats['tenants']} "
+        f"req={stats['requests']} acked={stats['acked']} "
+        f"rej={stats['rejected']} crash={stats['crashes']} "
+        f"recov={stats['recoveries']} depth={stats['mailbox_depth']} "
+        f"p50={lat['p50_ms']:.2f}ms p99={lat['p99_ms']:.2f}ms"
+    )

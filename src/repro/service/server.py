@@ -1,0 +1,208 @@
+"""A line-oriented TCP endpoint in front of :class:`~repro.service.service.Service`.
+
+Wire protocol: one JSON object per line, both directions.
+
+Request lines::
+
+    {"tenant": "t3", "op": "put", "key": 7, "value": 42}
+    {"tenant": "t3", "op": "get", "key": 7}
+    {"tenant": "t3", "op": "delete", "key": 7}
+    {"tenant": "t3", "op": "stats"}
+
+Reply lines are :meth:`~repro.service.tenant.Reply.to_dict` plus the
+echoed ``tenant``.  Malformed lines get ``{"ok": false, "error": ...}``
+rather than a dropped connection — the transport never hides a fate.
+
+Run it with ``python -m repro serve``; ``--port 0`` binds an ephemeral
+port and prints the chosen one (handy for tests).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from typing import Optional
+
+from repro.service.service import Service, ServiceConfig
+from repro.service.tenant import Request, TenantConfig
+
+#: Longest accepted request line (a put is ~80 bytes; this is ample).
+MAX_LINE = 64 * 1024
+
+
+def parse_request_line(raw: bytes):
+    """Decode one wire line into ``(tenant_id, Request)``.
+
+    Raises ``ValueError`` with a client-presentable message on any
+    malformed input.
+    """
+    try:
+        obj = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as err:
+        raise ValueError(f"bad json: {err}") from None
+    if not isinstance(obj, dict):
+        raise ValueError("request must be a json object")
+    tenant_id = obj.get("tenant")
+    if not isinstance(tenant_id, str):
+        raise ValueError("missing string field 'tenant'")
+    op = obj.get("op")
+    if not isinstance(op, str):
+        raise ValueError("missing string field 'op'")
+    key = obj.get("key", 0)
+    value = obj.get("value", 0)
+    if not isinstance(key, int) or not isinstance(value, int):
+        raise ValueError("'key' and 'value' must be integers")
+    return tenant_id, Request(op=op, key=key, value=value)
+
+
+class Server:
+    """Owns the listener and the Service behind it."""
+
+    def __init__(self, service: Service, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> int:
+        """Boot the service, bind, and return the bound port."""
+        if not self.service.started:
+            await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port, limit=MAX_LINE
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    raw = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(_error_line("request line too long"))
+                    await writer.drain()
+                    break
+                if not raw:
+                    break
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    tenant_id, request = parse_request_line(line)
+                except ValueError as err:
+                    writer.write(_error_line(str(err)))
+                    await writer.drain()
+                    continue
+                reply = await self.service.submit(tenant_id, request)
+                payload = reply.to_dict()
+                payload["tenant"] = tenant_id
+                writer.write(json.dumps(payload).encode() + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, asyncio.CancelledError):
+            # Shutdown cancels in-flight handlers; the connection is
+            # going away either way, so finish closing quietly.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+
+def _error_line(message: str) -> bytes:
+    return json.dumps({"ok": False, "error": message}).encode() + b"\n"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve many Capri persistence domains over TCP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7421,
+                        help="listen port (0 = ephemeral, printed at boot)")
+    parser.add_argument("--tenants", type=int, default=4,
+                        help="number of tenants (ids t0..tN-1)")
+    parser.add_argument("--backend", default="memory",
+                        choices=["memory", "disk", "sharded"])
+    parser.add_argument("--state-dir", default=None,
+                        help="state directory for disk/sharded backends")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--shard-workers", type=int, default=0,
+                        help="process-pool workers for sharded stores (0 = serial)")
+    parser.add_argument("--mailbox-depth", type=int, default=64)
+    parser.add_argument("--policy", default="queue", choices=["queue", "reject"])
+    parser.add_argument("--threshold", type=int, default=64)
+    parser.add_argument("--slots", type=int, default=128)
+    parser.add_argument("--snapshot-every", type=int, default=1,
+                        help="backend snapshot every N acked requests (0 = shutdown only)")
+    parser.add_argument("--log-interval", type=float, default=10.0,
+                        help="seconds between health log lines (0 = off)")
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> ServiceConfig:
+    if args.backend in ("disk", "sharded") and not args.state_dir:
+        raise SystemExit(f"--backend {args.backend} requires --state-dir")
+    return ServiceConfig(
+        tenant_ids=[f"t{i}" for i in range(args.tenants)],
+        backend=args.backend,
+        state_dir=args.state_dir,
+        shards=args.shards,
+        shard_workers=args.shard_workers,
+        mailbox_depth=args.mailbox_depth,
+        policy=args.policy,
+        tenant=TenantConfig(
+            threshold=args.threshold,
+            slots=args.slots,
+            snapshot_every=args.snapshot_every,
+        ),
+        log_interval=args.log_interval,
+    )
+
+
+async def _amain(args: argparse.Namespace) -> int:
+    config = config_from_args(args)
+    server = Server(Service(config), host=args.host, port=args.port)
+    port = await server.start()
+    print(f"[repro.service] serving {len(config.tenant_ids)} tenants "
+          f"({config.backend} backend) on {args.host}:{port}", flush=True)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return asyncio.run(_amain(args))
+    except KeyboardInterrupt:
+        print("[repro.service] interrupted; state persisted at last snapshot",
+              file=sys.stderr)
+        return 130
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,306 @@
+"""The asyncio front-end: tenant manager, mailboxes, supervisor.
+
+One consumer task per tenant drains its bounded mailbox and executes
+requests on the tenant's Capri machine.  The supervisor behaviour lives
+in the consumer's error path:
+
+* a :class:`~repro.arch.crash.PowerFailure` mid-request captures the
+  in-flight request into the dead-letter queue, runs crash recovery
+  (which resumes and completes the interrupted execution), then replays
+  the request — the client's future resolves with ``replayed=True``, or
+  the letter is left ``dead`` and surfaced in stats after
+  ``max_replay_attempts``.  Replay attempts are themselves eligible for
+  scheduled crashes (crash-during-recovery chaos).
+* a wedged machine (:class:`~repro.isa.machine.MachineError`) is
+  power-cycled: capture the persistent domain, recover, fail the
+  request with an error reply.
+
+Request execution is synchronous inside the event loop: tenants are
+GIL-bound CPU work, so a thread pool would add overhead without
+parallelism; what asyncio buys is bounded mailboxes, backpressure, many
+concurrent clients, and supervision — the service-shaped properties.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.arch.crash import PowerFailure
+from repro.isa.machine import MachineError
+from repro.service.backends import StateBackend, make_backend
+from repro.service.chaos import CrashSchedule
+from repro.service.mailbox import DeadLetterQueue, Mailbox, MailboxFull
+from repro.service.metrics import TenantMetrics, aggregate, log_line
+from repro.service.tenant import (
+    Reply,
+    Request,
+    Tenant,
+    TenantConfig,
+    TenantError,
+)
+
+_STOP = object()  # mailbox sentinel
+
+
+@dataclass
+class ServiceConfig:
+    """Everything the tenant manager needs to build the fleet."""
+
+    tenant_ids: Sequence[str] = ("t0",)
+    backend: str = "memory"
+    state_dir: Union[str, Path, None] = None
+    shards: int = 4
+    shard_workers: int = 0
+    mailbox_depth: int = 64
+    policy: str = "queue"  # queue | reject
+    tenant: TenantConfig = field(default_factory=TenantConfig)
+    #: seconds between periodic log lines (0 = off).
+    log_interval: float = 0.0
+
+    @staticmethod
+    def simple(num_tenants: int, **kwargs) -> "ServiceConfig":
+        return ServiceConfig(
+            tenant_ids=[f"t{i}" for i in range(num_tenants)], **kwargs
+        )
+
+
+@dataclass
+class _Pending:
+    request: Request
+    future: asyncio.Future
+    enqueued_at: float
+
+
+class Service:
+    """Hosts many independent Capri machines behind one request API."""
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        chaos: Optional[CrashSchedule] = None,
+        backend: Optional[StateBackend] = None,
+    ) -> None:
+        self.config = config
+        self.chaos = chaos
+        self.backend = backend or make_backend(
+            config.backend,
+            state_dir=config.state_dir,
+            shards=config.shards,
+            workers=config.shard_workers,
+        )
+        self._owns_backend = backend is None
+        self.dead_letters = DeadLetterQueue()
+        self.tenants: Dict[str, Tenant] = {}
+        self.mailboxes: Dict[str, Mailbox] = {}
+        self.metrics: Dict[str, TenantMetrics] = {}
+        self._consumers: List[asyncio.Task] = []
+        self._logger_task: Optional[asyncio.Task] = None
+        self.started = False
+        self.recovered_at_boot = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Boot every tenant (recovery is the restart path) and start
+        the consumer tasks."""
+        if self.started:
+            raise RuntimeError("service already started")
+        for tenant_id in self.config.tenant_ids:
+            metrics = TenantMetrics(tenant_id)
+            tenant = Tenant(
+                tenant_id,
+                self.backend,
+                config=self.config.tenant,
+                chaos=self.chaos,
+                metrics=metrics,
+            )
+            if tenant.boot():
+                self.recovered_at_boot += 1
+            self.tenants[tenant_id] = tenant
+            self.metrics[tenant_id] = metrics
+            self.mailboxes[tenant_id] = Mailbox(
+                depth=self.config.mailbox_depth, policy=self.config.policy
+            )
+            self._consumers.append(
+                asyncio.create_task(
+                    self._consume(tenant_id), name=f"tenant-{tenant_id}"
+                )
+            )
+        if self.config.log_interval > 0:
+            self._logger_task = asyncio.create_task(self._log_loop())
+        self.started = True
+
+    async def stop(self) -> None:
+        """Drain mailboxes, snapshot every tenant, stop the consumers."""
+        for mailbox in self.mailboxes.values():
+            await mailbox.put(_STOP)
+        if self._consumers:
+            await asyncio.gather(*self._consumers)
+        self._consumers.clear()
+        if self._logger_task is not None:
+            self._logger_task.cancel()
+            try:
+                await self._logger_task
+            except asyncio.CancelledError:
+                pass
+            self._logger_task = None
+        if self._owns_backend:
+            self.backend.close()
+        self.started = False
+
+    # -- request path --------------------------------------------------------
+
+    async def submit(self, tenant_id: str, request: Request) -> Reply:
+        """Enqueue a request and await its reply.
+
+        Under the ``reject`` policy a full mailbox answers immediately
+        with ``rejected=True`` — shed, never dropped.
+        """
+        mailbox = self.mailboxes.get(tenant_id)
+        metrics = self.metrics.get(tenant_id)
+        if mailbox is None or metrics is None:
+            return Reply(ok=False, op=request.op, key=request.key,
+                         error=f"unknown tenant {tenant_id!r}")
+        metrics.note_op(request.op)
+        if request.op == "stats":
+            return self._stats_reply(tenant_id, request)
+        if request.op in ("put", "delete", "get") and request.key <= 0:
+            metrics.failed += 1
+            return Reply(ok=False, op=request.op, key=request.key,
+                         error="key must be a positive integer")
+        pending = _Pending(
+            request=request,
+            future=asyncio.get_running_loop().create_future(),
+            enqueued_at=time.perf_counter(),
+        )
+        try:
+            await mailbox.put(pending)
+        except MailboxFull:
+            metrics.rejected += 1
+            return Reply(ok=False, op=request.op, key=request.key,
+                         rejected=True, error="mailbox full")
+        metrics.mailbox_depth = mailbox.qsize()
+        metrics.mailbox_max_depth = mailbox.max_depth
+        return await pending.future
+
+    # -- consumers (the supervisor lives here) -------------------------------
+
+    async def _consume(self, tenant_id: str) -> None:
+        tenant = self.tenants[tenant_id]
+        mailbox = self.mailboxes[tenant_id]
+        metrics = self.metrics[tenant_id]
+        while True:
+            item = await mailbox.get()
+            if item is _STOP:
+                tenant.shutdown()
+                return
+            pending: _Pending = item
+            reply = self._execute(tenant, pending.request)
+            latency = time.perf_counter() - pending.enqueued_at
+            metrics.latency.add(latency)
+            if reply.ok:
+                metrics.acked += 1
+                if reply.replayed:
+                    metrics.replayed += 1
+            else:
+                metrics.failed += 1
+            metrics.mailbox_depth = mailbox.qsize()
+            if not pending.future.cancelled():
+                pending.future.set_result(reply)
+            # One await per request keeps many-tenant runs fair even
+            # when every mailbox is hot.
+            await asyncio.sleep(0)
+
+    def _execute(self, tenant: Tenant, request: Request) -> Reply:
+        """Run one request with full supervision (sync, in-loop)."""
+        try:
+            return tenant.apply(request)
+        except PowerFailure:
+            return self._recover_and_replay(tenant, request)
+        except MachineError as err:
+            return self._power_cycle(tenant, request, err)
+        except TenantError as err:
+            return Reply(ok=False, op=request.op, key=request.key,
+                         error=str(err))
+
+    def _recover_and_replay(self, tenant: Tenant, request: Request) -> Reply:
+        """The supervisor path: dead-letter capture, recovery, replay."""
+        letter = self.dead_letters.capture(
+            tenant.tenant_id, request, reason="power failure in flight"
+        )
+        attempts = 0
+        max_attempts = tenant.config.max_replay_attempts
+        while True:
+            try:
+                tenant.recover()
+            except (TenantError, MachineError) as err:
+                self.dead_letters.mark_dead(letter, attempts, f"recovery: {err}")
+                return Reply(ok=False, op=request.op, key=request.key,
+                             error=f"unrecoverable: {err}")
+            if attempts >= max_attempts:
+                self.dead_letters.mark_dead(
+                    letter, attempts, "replay attempts exhausted"
+                )
+                return Reply(ok=False, op=request.op, key=request.key,
+                             error="replay attempts exhausted")
+            attempts += 1
+            try:
+                reply = tenant.apply(request)
+            except PowerFailure:
+                continue  # crash during replay: recover again
+            except (TenantError, MachineError) as err:
+                self.dead_letters.mark_dead(letter, attempts, str(err))
+                return Reply(ok=False, op=request.op, key=request.key,
+                             error=str(err))
+            reply.replayed = True
+            self.dead_letters.mark_replayed(letter, attempts)
+            return reply
+
+    def _power_cycle(self, tenant: Tenant, request: Request, err) -> Reply:
+        try:
+            tenant.power_cycle()
+        except (TenantError, MachineError):
+            pass
+        return Reply(ok=False, op=request.op, key=request.key,
+                     error=f"machine error: {err}")
+
+    # -- stats / verification ------------------------------------------------
+
+    def _stats_reply(self, tenant_id: str, request: Request) -> Reply:
+        tenant = self.tenants[tenant_id]
+        payload = self.metrics[tenant_id].to_dict()
+        try:
+            payload["table_size"] = len(tenant.table())
+            payload["workload_stats"] = tenant.stats_words()
+        except TenantError:
+            pass
+        payload["dead_letters"] = len(self.dead_letters.dead(tenant_id))
+        return Reply(ok=True, op="stats", stats=payload)
+
+    def stats(self) -> Dict[str, Any]:
+        """Service-wide rollup plus the dead-letter ledger counts."""
+        out = aggregate(list(self.metrics.values()))
+        out["dead_letters"] = self.dead_letters.counts()
+        out["chaos_fired"] = self.chaos.fired if self.chaos else 0
+        out["recovered_at_boot"] = self.recovered_at_boot
+        return out
+
+    def verify_recovered(self) -> Dict[str, Dict[int, int]]:
+        """Per-tenant table after a simulated final power failure +
+        recovery (the loadgen oracle's ground truth)."""
+        return {
+            tenant_id: tenant.verify_recovered_table()
+            for tenant_id, tenant in self.tenants.items()
+        }
+
+    # -- periodic log --------------------------------------------------------
+
+    async def _log_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.log_interval)
+            print(log_line(self.stats()), file=sys.stderr, flush=True)

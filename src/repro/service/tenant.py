@@ -1,0 +1,408 @@
+"""One tenant: a private Capri machine serving per-operation requests.
+
+Each tenant owns an entire persistence domain — a functional
+:class:`~repro.isa.machine.Machine` plus a
+:class:`~repro.arch.system.CapriSystem` (proxy pipelines, NVM image, PC
+checkpoints) — running the compiled ``kv_store`` module.  A request is
+one hart activation: the operation's entry point (``kv_put`` /
+``kv_get`` / ``kv_delete``) is spawned on core 0, run to completion
+under the system observer, and the reply read back from memory.
+
+Why this is crash-consistent with *zero* service-level persistence code:
+
+* The spawn-time implicit boundary (region ``-1``) both commits the
+  previous request's trailing region and records the new request's
+  entry point as the durable resume target.
+* A power failure mid-request is recovered by the stock Section 5.4
+  protocol (:func:`repro.arch.recovery.recover`); the resumed machine
+  *finishes the interrupted execution* — recovery is the restart path —
+  and the service then replays the request for its reply.
+* Replays are safe because the table operations are idempotent: a put
+  re-finds its slot, a delete re-misses.  (The module's ``stats``
+  counters are at-least-once, like any counter under replay.)
+
+The tenant is synchronous; :mod:`repro.service.service` provides the
+asyncio mailbox/supervision layer around it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.arch.crash import (
+    CrashInjector,
+    CrashPlan,
+    CrashState,
+    PowerFailure,
+    capture_crash_state,
+)
+from repro.arch.params import SimParams
+from repro.arch.recovery import prepare_resumed_run, recover
+from repro.arch.system import CapriSystem
+from repro.compiler import CapriCompiler, OptConfig
+from repro.ir.module import Module
+from repro.isa.machine import Machine, MachineError
+from repro.service.chaos import CrashSchedule
+from repro.service.metrics import TenantMetrics
+from repro.workloads.kvstore import KvLayout, build_kv_service_module, dump_table
+
+#: op -> (entry point, arg builder)
+_OPS = {
+    "put": ("kv_put", lambda r: [r.key, r.value]),
+    "get": ("kv_get", lambda r: [r.key]),
+    "delete": ("kv_delete", lambda r: [r.key]),
+}
+
+#: The spawn used when recovery needs a cold-restart configuration but
+#: no request is in flight.
+_BOOT_SPAWN = ("kv_boot", [])
+
+
+class TenantError(Exception):
+    """A request the tenant cannot serve (bad op, fenced core, ...)."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client operation."""
+
+    op: str  # put | get | delete | stats
+    key: int = 0
+    value: int = 0
+
+    def describe(self) -> str:
+        if self.op == "put":
+            return f"put {self.key}={self.value}"
+        return f"{self.op} {self.key}" if self.op != "stats" else "stats"
+
+
+@dataclass
+class Reply:
+    """The service's answer; ``applied_seq`` is the tenant-local
+    execution order (loadgen rebuilds its oracle model from it)."""
+
+    ok: bool
+    op: str
+    key: int = 0
+    value: Optional[int] = None
+    found: Optional[bool] = None
+    replayed: bool = False
+    rejected: bool = False
+    applied_seq: int = -1
+    error: Optional[str] = None
+    stats: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"ok": self.ok, "op": self.op, "key": self.key}
+        if self.value is not None:
+            out["value"] = self.value
+        if self.found is not None:
+            out["found"] = self.found
+        if self.replayed:
+            out["replayed"] = True
+        if self.rejected:
+            out["rejected"] = True
+        if self.applied_seq >= 0:
+            out["seq"] = self.applied_seq
+        if self.error:
+            out["error"] = self.error
+        if self.stats is not None:
+            out["stats"] = self.stats
+        return out
+
+
+@dataclass
+class TenantConfig:
+    """Per-tenant machine parameters."""
+
+    threshold: int = 64
+    quantum: int = 32
+    slots: int = 128
+    max_steps: int = 2_000_000
+    #: Store a backend snapshot every N acked requests (0 = only at
+    #: shutdown / explicit save).
+    snapshot_every: int = 1
+    #: How many replay attempts a dead-lettered request gets before it
+    #: is declared dead (each attempt may itself be crash-injected).
+    max_replay_attempts: int = 8
+    params: Optional[SimParams] = None
+
+    def effective_params(self) -> SimParams:
+        return self.params if self.params is not None else SimParams.scaled()
+
+
+#: Compiled-module cache: tenants of one service share the (immutable)
+#: compiled program; only machine/system state is per-tenant.
+_COMPILED: Dict[Tuple[int, int], Tuple[Module, KvLayout]] = {}
+
+
+def compiled_kv_module(slots: int, threshold: int) -> Tuple[Module, KvLayout]:
+    key = (slots, threshold)
+    cached = _COMPILED.get(key)
+    if cached is None:
+        module, layout = build_kv_service_module(slots)
+        compiled = CapriCompiler(OptConfig.licm(threshold)).compile(module).module
+        cached = _COMPILED[key] = (compiled, layout)
+    return cached
+
+
+class Tenant:
+    """One persistence domain behind the service."""
+
+    def __init__(
+        self,
+        tenant_id: str,
+        backend,
+        config: Optional[TenantConfig] = None,
+        chaos: Optional[CrashSchedule] = None,
+        metrics: Optional[TenantMetrics] = None,
+    ) -> None:
+        self.tenant_id = tenant_id
+        self.backend = backend
+        self.config = config or TenantConfig()
+        self.chaos = chaos
+        self.metrics = metrics or TenantMetrics(tenant_id)
+        self.module, self.layout = compiled_kv_module(
+            self.config.slots, self.config.threshold
+        )
+        self.machine: Optional[Machine] = None
+        self.system: Optional[CapriSystem] = None
+        #: apply-attempt ordinal (replays included) — the chaos schedule's
+        #: per-tenant clock.
+        self.attempts = 0
+        #: tenant-local execution order of successful applies.
+        self.applied_seq = 0
+        self._acked_since_snapshot = 0
+        self._pending_crash: Optional[CrashState] = None
+        self._in_flight_spawn: Optional[Tuple[str, list]] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def boot(self) -> bool:
+        """Start (or restart) the tenant; returns True if a stored
+        snapshot was recovered, False for a cold start.
+
+        Recovery *is* the restart path: a stored snapshot goes through
+        the stock crash-recovery protocol, and any execution that was in
+        flight when the snapshot was taken is resumed to completion.
+        """
+        state = self.backend.load(self.tenant_id)
+        if state is None:
+            self._fresh_machine()
+            return False
+        self._recover_from(state, cold_spawn=_BOOT_SPAWN)
+        return True
+
+    def _fresh_machine(self) -> None:
+        self.machine = Machine(self.module, quantum=self.config.quantum)
+        self.system = CapriSystem(
+            self.config.effective_params(),
+            num_cores=1,
+            threshold=self.config.threshold,
+        )
+        self.system.attach(self.machine)
+
+    def shutdown(self) -> None:
+        """Persist a final snapshot (clean handoff to the backend)."""
+        if self.system is not None:
+            self.save_snapshot()
+
+    # -- snapshots -----------------------------------------------------------
+
+    def capture(self) -> CrashState:
+        """Deep snapshot of the live persistent domain (what a power
+        failure at this instant would preserve)."""
+        if self.system is None:
+            raise TenantError(f"tenant {self.tenant_id} is not booted")
+        return capture_crash_state(self.system)
+
+    def save_snapshot(self) -> None:
+        self.backend.store(self.tenant_id, self.capture())
+        self.metrics.snapshots += 1
+        self._acked_since_snapshot = 0
+
+    # -- requests ------------------------------------------------------------
+
+    def apply(
+        self, request: Request, crash_at: Optional[int] = None
+    ) -> Reply:
+        """Execute one request to completion; raises :class:`PowerFailure`
+        if the (scheduled or explicit) power failure fires mid-request.
+
+        After a :class:`PowerFailure` the tenant is unusable until
+        :meth:`recover` runs — the supervisor's job.
+        """
+        if self._pending_crash is not None:
+            raise TenantError(
+                f"tenant {self.tenant_id} crashed and was not recovered"
+            )
+        if self.machine is None or self.system is None:
+            raise TenantError(f"tenant {self.tenant_id} is not booted")
+        spec = _OPS.get(request.op)
+        if spec is None:
+            return Reply(ok=False, op=request.op, key=request.key,
+                         error=f"unknown op {request.op!r}")
+        func_name, make_args = spec
+
+        ordinal = self.attempts
+        self.attempts += 1
+        plan = crash_at
+        if plan is None and self.chaos is not None:
+            plan = self.chaos.crash_event(self.tenant_id, ordinal)
+
+        machine = self.machine
+        machine.harts.clear()  # the next spawn lands on core 0
+        machine.spawn(func_name, make_args(request))
+        observer = self.system
+        injector = None
+        if plan is not None:
+            injector = CrashInjector(self.system, CrashPlan(at_event=plan))
+            observer = injector
+        try:
+            machine.run(observer, max_steps=self.config.max_steps)
+        except PowerFailure as pf:
+            # The machine is now volatile garbage; only pf.state (the
+            # persistent domain) survives.  Recovery rebuilds everything.
+            self.metrics.crashes += 1
+            if self.chaos is not None and injector is not None:
+                self.chaos.note_fired()
+            self._pending_crash = pf.state
+            self._in_flight_spawn = (func_name, make_args(request))
+            self.machine = None
+            self.system = None
+            raise
+        return self._reply_for(request)
+
+    def _reply_for(self, request: Request) -> Reply:
+        self.applied_seq += 1
+        reply = Reply(
+            ok=True, op=request.op, key=request.key,
+            applied_seq=self.applied_seq,
+        )
+        memory = self.machine.memory
+        if request.op == "get":
+            reply.found = bool(memory.get(self.layout.result, 0))
+            reply.value = memory.get(self.layout.result + 8, 0)
+        elif request.op == "put":
+            reply.value = request.value
+        every = self.config.snapshot_every
+        if every > 0:
+            self._acked_since_snapshot += 1
+            if self._acked_since_snapshot >= every:
+                self.save_snapshot()
+        return reply
+
+    # -- recovery ------------------------------------------------------------
+
+    def recover(self, state: Optional[CrashState] = None) -> "RecoveryInfo":
+        """Run crash recovery and resume interrupted execution.
+
+        ``state`` defaults to the pending in-flight crash snapshot (the
+        supervisor path); tests may pass an explicit snapshot.  The
+        resumed machine runs to completion, finishing whatever execution
+        the failure interrupted, before the tenant accepts new requests.
+        """
+        if state is None:
+            state = self._pending_crash
+        if state is None:
+            raise TenantError("nothing to recover from")
+        cold = self._in_flight_spawn or _BOOT_SPAWN
+        info = self._recover_from(state, cold_spawn=cold)
+        self._pending_crash = None
+        self._in_flight_spawn = None
+        return info
+
+    def _recover_from(
+        self, state: CrashState, cold_spawn: Tuple[str, list]
+    ) -> "RecoveryInfo":
+        start = time.perf_counter()
+        recovered = recover(state, self.module, strict=False)
+        if 0 in recovered.report.quarantined_cores:
+            raise TenantError(
+                f"tenant {self.tenant_id}: core fenced off by recovery "
+                f"({recovered.report.summary()})"
+            )
+        machine, system = prepare_resumed_run(
+            recovered,
+            self.module,
+            [cold_spawn],
+            params=self.config.effective_params(),
+            threshold=self.config.threshold,
+            quantum=self.config.quantum,
+        )
+        # Recovery is the restart path: finish the interrupted execution
+        # before serving anything new.
+        machine.run(system, max_steps=self.config.max_steps)
+        machine.harts.clear()
+        self.machine = machine
+        self.system = system
+        wall = time.perf_counter() - start
+        self.metrics.recoveries += 1
+        self.metrics.recovery_latency.add(wall)
+        return RecoveryInfo(
+            wall_s=wall,
+            regions_redone=recovered.regions_redone,
+            regions_rolled_back=recovered.regions_rolled_back,
+            redo_words=recovered.redo_words,
+            undo_words=recovered.undo_words,
+            clean=recovered.report.clean,
+        )
+
+    def power_cycle(self) -> "RecoveryInfo":
+        """Capture the live persistent domain and go through recovery —
+        the supervisor's response to a wedged (non-crash) failure."""
+        state = self._pending_crash or self.capture()
+        self._pending_crash = state
+        return self.recover(state)
+
+    # -- inspection ----------------------------------------------------------
+
+    def table(self) -> Dict[int, int]:
+        """Live key->value mapping (architectural state)."""
+        if self.machine is None:
+            raise TenantError(f"tenant {self.tenant_id} is not booted")
+        return dump_table(self.machine.memory, self.layout)
+
+    def verify_recovered_table(self) -> Dict[int, int]:
+        """The table as it would exist after a power failure *right now*
+        followed by recovery — a simulated final outage that leaves the
+        live tenant untouched (capture is a deep copy)."""
+        state = self.capture()
+        recovered = recover(state, self.module, strict=False)
+        machine, system = prepare_resumed_run(
+            recovered,
+            self.module,
+            [_BOOT_SPAWN],
+            params=self.config.effective_params(),
+            threshold=self.config.threshold,
+            quantum=self.config.quantum,
+        )
+        machine.run(system, max_steps=self.config.max_steps)
+        return dump_table(machine.memory, self.layout)
+
+    def stats_words(self) -> Dict[str, int]:
+        """The module's own stats counters (at-least-once under replay)."""
+        if self.machine is None:
+            raise TenantError(f"tenant {self.tenant_id} is not booted")
+        s = self.layout.stats
+        mem = self.machine.memory
+        return {
+            "puts": mem.get(s, 0),
+            "deletes": mem.get(s + 8, 0),
+            "misses": mem.get(s + 16, 0),
+            "probes": mem.get(s + 24, 0),
+        }
+
+
+@dataclass
+class RecoveryInfo:
+    """What one recovery pass did."""
+
+    wall_s: float
+    regions_redone: int = 0
+    regions_rolled_back: int = 0
+    redo_words: int = 0
+    undo_words: int = 0
+    clean: bool = True

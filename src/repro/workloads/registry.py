@@ -9,7 +9,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.ir.module import Module
-from repro.workloads import oskernel, probes, spec, splash, stamp
+from repro.workloads import kvstore, oskernel, probes, spec, splash, stamp
 
 Spawns = List[Tuple[str, Sequence[int]]]
 
@@ -112,6 +112,12 @@ _register("oskernel", "os", oskernel.build_oskernel)
 # unchanged.
 _register("stream-write", "probe", probes.build_stream_probe)
 _register("hot-writeback", "probe", probes.build_hot_writeback_probe)
+
+# Application workloads outside the paper's figure suites: first-class
+# registry members (sweeps, fault campaigns, the checker, and the
+# service front-end all resolve them by name) but, like the probes,
+# deliberately absent from SUITES so the figure axes are unchanged.
+_register("kv_store", "service", kvstore.build_kv_store)
 
 
 def get_workload(name: str) -> Workload:

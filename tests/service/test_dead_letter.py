@@ -1,0 +1,164 @@
+"""Satellite: dead-letter semantics under adversarial crash plans.
+
+The contract under test: a request in flight when the power fails is
+never silently dropped.  Whatever observer-event index the
+:class:`~repro.arch.crash.CrashInjector` plan picks — first event, mid
+undo-log, straddling the commit, past the end — the request's dead
+letter ends in a terminal status (``replayed`` and acked, or ``dead``
+and surfaced), and acked state survives.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.service import (
+    CrashSchedule,
+    Request,
+    Service,
+    ServiceConfig,
+)
+from repro.service.mailbox import CAPTURED, DEAD, REPLAYED
+from repro.service.tenant import TenantConfig
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def _service(chaos, n=1, max_replay_attempts=8):
+    return Service(
+        ServiceConfig.simple(
+            n,
+            tenant=TenantConfig(
+                snapshot_every=0, max_replay_attempts=max_replay_attempts
+            ),
+        ),
+        chaos=chaos,
+    )
+
+
+# Every interesting alignment of the injection point against a put's
+# ~40-event execution: spawn boundary, undo logging, slot write, region
+# commit, and far past the end (a no-op plan).
+ADVERSARIAL_EVENTS = [1, 2, 3, 5, 8, 13, 19, 26, 33, 39, 41, 200]
+
+
+@pytest.mark.parametrize("event", ADVERSARIAL_EVENTS)
+def test_in_flight_request_never_silently_dropped(event):
+    async def scenario():
+        chaos = CrashSchedule({("t0", 1): event}, seed=0)
+        service = _service(chaos)
+        await service.start()
+        first = await service.submit("t0", Request("put", key=1, value=10))
+        assert first.ok and not first.replayed
+        second = await service.submit("t0", Request("put", key=2, value=20))
+
+        if chaos.fired:
+            # The crash fired mid-request: the request was captured,
+            # recovered, and replayed to an ack.
+            assert second.ok and second.replayed
+            counts = service.dead_letters.counts()
+            assert counts[REPLAYED] == 1
+            assert counts[CAPTURED] == 0  # terminal status, always
+            assert counts[DEAD] == 0
+        else:
+            # Plan past end-of-request: a clean ack, no letters.
+            assert second.ok and not second.replayed
+            assert not service.dead_letters.letters
+
+        # Acked state survives regardless of the injection point.
+        table = service.tenants["t0"].table()
+        assert table == {1: 10, 2: 20}
+        assert service.verify_recovered()["t0"] == table
+        await service.stop()
+
+    _run(scenario())
+
+
+def test_crash_during_replay_recovers_again():
+    """Plans on consecutive attempt ordinals crash the original AND its
+    replay; the supervisor keeps recovering until an attempt completes."""
+    async def scenario():
+        chaos = CrashSchedule(
+            {("t0", 0): 10, ("t0", 1): 15, ("t0", 2): 20}, seed=0
+        )
+        service = _service(chaos)
+        await service.start()
+        reply = await service.submit("t0", Request("put", key=7, value=70))
+        assert reply.ok and reply.replayed
+        assert chaos.fired == 3
+        stats = service.stats()
+        assert stats["crashes"] == 3 and stats["recoveries"] == 3
+        counts = service.dead_letters.counts()
+        assert counts[REPLAYED] == 1 and counts[CAPTURED] == 0
+        assert service.tenants["t0"].table() == {7: 70}
+        await service.stop()
+
+    _run(scenario())
+
+
+def test_replay_exhaustion_surfaces_dead_letter():
+    """Crash every attempt: the letter goes ``dead`` and the client gets
+    an explicit failure — surfaced, not silent."""
+    async def scenario():
+        # Attempts 0..3 all crash; max_replay_attempts=3 gives up after
+        # the third replay (ordinal 4 onwards is clean again).
+        chaos = CrashSchedule(
+            {("t0", o): 10 for o in range(4)}, seed=0
+        )
+        service = _service(chaos, max_replay_attempts=3)
+        await service.start()
+        reply = await service.submit("t0", Request("put", key=3, value=30))
+        assert not reply.ok and "exhausted" in reply.error
+        counts = service.dead_letters.counts()
+        assert counts[DEAD] == 1 and counts[CAPTURED] == 0
+        letter = service.dead_letters.dead("t0")[0]
+        assert letter.request.key == 3
+        assert letter.attempts == 3
+        # The tenant recovered from the final crash and still serves.
+        follow_up = await service.submit("t0", Request("put", key=4, value=40))
+        assert follow_up.ok
+        assert service.tenants["t0"].table()[4] == 40
+        await service.stop()
+
+    _run(scenario())
+
+
+def test_dead_letters_are_per_tenant():
+    async def scenario():
+        chaos = CrashSchedule(
+            {("t0", o): 10 for o in range(10)}, seed=0
+        )
+        service = _service(chaos, n=2, max_replay_attempts=2)
+        await service.start()
+        bad = await service.submit("t0", Request("put", key=1, value=1))
+        good = await service.submit("t1", Request("put", key=1, value=1))
+        assert not bad.ok and good.ok
+        assert len(service.dead_letters.dead("t0")) == 1
+        assert not service.dead_letters.dead("t1")
+        await service.stop()
+
+    _run(scenario())
+
+
+def test_acked_history_survives_dead_lettered_request():
+    """A request that dies must not take previously acked writes with
+    it: the failed key is indeterminate, everything else exact."""
+    async def scenario():
+        chaos = CrashSchedule(
+            {("t0", o): 10 for o in range(3, 20)}, seed=0
+        )
+        service = _service(chaos, max_replay_attempts=2)
+        await service.start()
+        for k in (1, 2, 3):
+            assert (await service.submit(
+                "t0", Request("put", key=k, value=k * 5))).ok
+        doomed = await service.submit("t0", Request("put", key=9, value=90))
+        assert not doomed.ok
+        recovered = service.verify_recovered()["t0"]
+        for k in (1, 2, 3):
+            assert recovered[k] == k * 5
+        await service.stop()
+
+    _run(scenario())

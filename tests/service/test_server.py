@@ -1,0 +1,108 @@
+"""The TCP endpoint: wire protocol, isolation, malformed input."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.server import Server, build_parser, config_from_args, parse_request_line
+from repro.service.service import Service, ServiceConfig
+from repro.service.tenant import Request, TenantConfig
+
+
+def test_parse_request_line_happy_path():
+    tenant_id, request = parse_request_line(
+        b'{"tenant": "t3", "op": "put", "key": 7, "value": 42}'
+    )
+    assert tenant_id == "t3"
+    assert request == Request("put", key=7, value=42)
+
+
+@pytest.mark.parametrize("raw,needle", [
+    (b"not json", "bad json"),
+    (b"[1, 2]", "json object"),
+    (b'{"op": "get", "key": 1}', "tenant"),
+    (b'{"tenant": "t0", "key": 1}', "op"),
+    (b'{"tenant": "t0", "op": "get", "key": "x"}', "integer"),
+])
+def test_parse_request_line_rejects(raw, needle):
+    with pytest.raises(ValueError, match=needle):
+        parse_request_line(raw)
+
+
+def test_config_from_args_defaults_and_validation():
+    args = build_parser().parse_args(["--tenants", "3"])
+    config = config_from_args(args)
+    assert config.tenant_ids == ["t0", "t1", "t2"]
+    assert config.backend == "memory"
+    with pytest.raises(SystemExit):
+        config_from_args(build_parser().parse_args(["--backend", "disk"]))
+
+
+def _roundtrip(requests):
+    """Boot a server on an ephemeral port, run the wire conversation."""
+    async def scenario():
+        config = ServiceConfig.simple(2, tenant=TenantConfig(snapshot_every=0))
+        server = Server(Service(config), port=0)
+        port = await server.start()
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        replies = []
+        for obj in requests:
+            line = obj if isinstance(obj, bytes) else json.dumps(obj).encode()
+            writer.write(line + b"\n")
+            await writer.drain()
+            replies.append(json.loads(await reader.readline()))
+        writer.close()
+        await server.stop()
+        return replies
+
+    return asyncio.run(scenario())
+
+
+def test_wire_roundtrip_and_isolation():
+    replies = _roundtrip([
+        {"tenant": "t0", "op": "put", "key": 3, "value": 9},
+        {"tenant": "t0", "op": "get", "key": 3},
+        {"tenant": "t1", "op": "get", "key": 3},
+        {"tenant": "t0", "op": "stats"},
+    ])
+    assert replies[0]["ok"] and replies[0]["tenant"] == "t0"
+    assert replies[1]["found"] and replies[1]["value"] == 9
+    assert not replies[2]["found"]  # t1 never saw t0's put
+    assert replies[3]["ok"] and replies[3]["stats"]["acked"] == 2
+
+
+def test_wire_malformed_lines_get_error_replies():
+    replies = _roundtrip([
+        b"not json at all",
+        {"tenant": "nope", "op": "get", "key": 1},
+        {"tenant": "t0", "op": "get", "key": 1},  # still serving after junk
+    ])
+    assert not replies[0]["ok"] and "bad json" in replies[0]["error"]
+    assert not replies[1]["ok"] and "unknown tenant" in replies[1]["error"]
+    assert replies[2]["ok"]
+
+
+def test_concurrent_connections():
+    async def scenario():
+        config = ServiceConfig.simple(1, tenant=TenantConfig(snapshot_every=0))
+        server = Server(Service(config), port=0)
+        port = await server.start()
+
+        async def client(base):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            for i in range(5):
+                writer.write(json.dumps({
+                    "tenant": "t0", "op": "put",
+                    "key": base + i, "value": base + i,
+                }).encode() + b"\n")
+                await writer.drain()
+                reply = json.loads(await reader.readline())
+                assert reply["ok"]
+            writer.close()
+
+        await asyncio.gather(client(1), client(10), client(20))
+        assert len(server.service.tenants["t0"].table()) == 15
+        await server.stop()
+
+    asyncio.run(scenario())

@@ -1,0 +1,177 @@
+"""Tenant lifecycle: requests, crashes, recovery-as-restart, snapshots."""
+
+import pytest
+
+from repro.arch.crash import PowerFailure
+from repro.service.backends import MemoryBackend
+from repro.service.chaos import CrashSchedule
+from repro.service.metrics import TenantMetrics
+from repro.service.tenant import Request, Tenant, TenantConfig, TenantError
+
+
+def _tenant(**kwargs):
+    config = TenantConfig(snapshot_every=kwargs.pop("snapshot_every", 0))
+    tenant = Tenant("t0", kwargs.pop("backend", MemoryBackend()),
+                    config=config, **kwargs)
+    tenant.boot()
+    return tenant
+
+
+def test_cold_boot_and_basic_ops():
+    tenant = _tenant()
+    reply = tenant.apply(Request("put", key=5, value=50))
+    assert reply.ok and reply.value == 50 and reply.applied_seq == 1
+    reply = tenant.apply(Request("get", key=5))
+    assert reply.ok and reply.found and reply.value == 50
+    reply = tenant.apply(Request("get", key=6))
+    assert reply.ok and not reply.found
+    reply = tenant.apply(Request("delete", key=5))
+    assert reply.ok
+    assert not tenant.apply(Request("get", key=5)).found
+    assert tenant.table() == {}
+
+
+def test_unknown_op_is_failed_reply():
+    tenant = _tenant()
+    reply = tenant.apply(Request("swizzle", key=1))
+    assert not reply.ok and "unknown op" in reply.error
+
+
+def test_overwrite_and_many_keys():
+    tenant = _tenant()
+    for key in range(1, 21):
+        tenant.apply(Request("put", key=key, value=key * 10))
+    tenant.apply(Request("put", key=7, value=777))
+    table = tenant.table()
+    assert len(table) == 20 and table[7] == 777 and table[20] == 200
+
+
+def test_crash_midrequest_then_recover_then_replay():
+    tenant = _tenant()
+    tenant.apply(Request("put", key=1, value=10))
+    with pytest.raises(PowerFailure):
+        tenant.apply(Request("put", key=2, value=20), crash_at=25)
+    # Crashed and unrecovered: the tenant refuses new work.
+    with pytest.raises(TenantError):
+        tenant.apply(Request("get", key=1))
+    info = tenant.recover()
+    assert info.wall_s > 0
+    # The pre-crash ack survived; replaying the interrupted op is safe.
+    reply = tenant.apply(Request("put", key=2, value=20))
+    assert reply.ok
+    assert tenant.table() == {1: 10, 2: 20}
+
+
+@pytest.mark.parametrize("crash_at", [1, 5, 12, 20, 30, 40])
+def test_acked_writes_survive_any_crash_point(crash_at):
+    """Whatever event index the power fails at, every previously acked
+    put is present after recovery (the service durability contract)."""
+    tenant = _tenant()
+    acked = {}
+    for key in (1, 2, 3):
+        tenant.apply(Request("put", key=key, value=key * 100))
+        acked[key] = key * 100
+    try:
+        tenant.apply(Request("put", key=9, value=900), crash_at=crash_at)
+        acked[9] = 900  # index past end-of-request: no crash, it's acked
+    except PowerFailure:
+        tenant.recover()
+    table = tenant.table()
+    for key, value in acked.items():
+        assert table.get(key) == value, (crash_at, key, table)
+
+
+def test_replay_is_idempotent_after_partial_apply():
+    """Crash late in a put (possibly after the slot write), recover,
+    replay: exactly one slot for the key, with the right value."""
+    tenant = _tenant()
+    with pytest.raises(PowerFailure):
+        tenant.apply(Request("put", key=4, value=44), crash_at=38)
+    tenant.recover()
+    reply = tenant.apply(Request("put", key=4, value=44))
+    assert reply.ok
+    assert tenant.table() == {4: 44}
+    # And the recovered table agrees with the live one.
+    assert tenant.verify_recovered_table() == {4: 44}
+
+
+def test_chaos_schedule_drives_injection():
+    chaos = CrashSchedule({("t0", 1): 15}, seed=0)
+    metrics = TenantMetrics("t0")
+    tenant = Tenant("t0", MemoryBackend(),
+                    config=TenantConfig(snapshot_every=0),
+                    chaos=chaos, metrics=metrics)
+    tenant.boot()
+    tenant.apply(Request("put", key=1, value=1))  # ordinal 0: clean
+    with pytest.raises(PowerFailure):
+        tenant.apply(Request("put", key=2, value=2))  # ordinal 1: crash
+    assert chaos.fired == 1 and metrics.crashes == 1
+    tenant.recover()
+    # Ordinal 2 (the replay) has no plan: completes.
+    assert tenant.apply(Request("put", key=2, value=2)).ok
+
+
+def test_snapshot_roundtrip_restores_via_recovery():
+    backend = MemoryBackend()
+    tenant = Tenant("t0", backend, config=TenantConfig(snapshot_every=0))
+    tenant.boot()
+    tenant.apply(Request("put", key=8, value=88))
+    tenant.save_snapshot()
+    tenant.apply(Request("put", key=9, value=99))  # not snapshotted
+
+    restarted = Tenant("t0", backend, config=TenantConfig(snapshot_every=0))
+    assert restarted.boot() is True
+    assert restarted.table() == {8: 88}  # snapshot point, not the tail
+
+
+def test_snapshot_every_acked_request():
+    backend = MemoryBackend()
+    tenant = Tenant("t0", backend, config=TenantConfig(snapshot_every=1))
+    tenant.boot()
+    tenant.apply(Request("put", key=1, value=10))
+    tenant.apply(Request("put", key=2, value=20))
+    assert backend.stores == 2
+    restarted = Tenant("t0", backend, config=TenantConfig(snapshot_every=0))
+    restarted.boot()
+    assert restarted.table() == {1: 10, 2: 20}
+
+
+def test_verify_recovered_table_leaves_live_tenant_untouched():
+    tenant = _tenant()
+    tenant.apply(Request("put", key=3, value=33))
+    before = tenant.table()
+    assert tenant.verify_recovered_table() == before
+    # Still serving after the simulated outage.
+    assert tenant.apply(Request("get", key=3)).value == 33
+
+
+def test_stats_words_track_operations():
+    tenant = _tenant()
+    tenant.apply(Request("put", key=1, value=1))
+    tenant.apply(Request("put", key=2, value=2))
+    tenant.apply(Request("delete", key=1))
+    tenant.apply(Request("get", key=99))
+    words = tenant.stats_words()
+    assert words["puts"] == 2 and words["deletes"] == 1
+    assert words["misses"] >= 1
+
+
+def test_recovery_metrics_recorded():
+    metrics = TenantMetrics("t0")
+    tenant = Tenant("t0", MemoryBackend(),
+                    config=TenantConfig(snapshot_every=0), metrics=metrics)
+    tenant.boot()
+    with pytest.raises(PowerFailure):
+        tenant.apply(Request("put", key=1, value=1), crash_at=10)
+    tenant.recover()
+    assert metrics.crashes == 1
+    assert metrics.recoveries == 1
+    assert metrics.recovery_latency.count == 1
+
+
+def test_power_cycle_preserves_table():
+    tenant = _tenant()
+    tenant.apply(Request("put", key=6, value=60))
+    tenant.power_cycle()
+    assert tenant.table() == {6: 60}
+    assert tenant.apply(Request("get", key=6)).value == 60
