@@ -108,7 +108,9 @@ class RunSpec:
     params: Optional[SimParams] = None
     quantum: int = 32
     persistence: Optional[bool] = None
-    seed: int = 0
+    #: ``None`` = unset (consumers fall back to their own default seed);
+    #: an explicit value — *including 0* — is honoured as given.
+    seed: Optional[int] = None
     threads: Optional[int] = None
     max_steps: int = _DEFAULT_MAX_STEPS
     #: Run the online persistency checker (:mod:`repro.check`) alongside

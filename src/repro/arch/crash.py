@@ -114,24 +114,43 @@ class CrashInjector(Observer):
     point *no* downstream observer — system or checker — sees the event:
     the checker's shadow model and the captured hardware state stay in
     lock-step.
+
+    The same injector interrupts *recovery*: pass ``system=None`` and a
+    ``capture`` callable returning the persistent domain at the moment
+    of failure (for :func:`repro.arch.recovery.run_recovery`, the live
+    :class:`CrashState`'s ``clone`` method — recovery steps mutate the
+    domain in place, and the crash fires before the fatal step applies).
     """
 
     def __init__(
         self,
-        system: CapriSystem,
+        system: Optional[CapriSystem],
         plan: CrashPlan,
         target: Optional[Observer] = None,
+        capture=None,
     ) -> None:
+        if system is None and capture is None:
+            raise ValueError("CrashInjector needs a system or a capture callable")
         self.system = system
-        self.target = target if target is not None else system
+        if target is not None:
+            self.target = target
+        elif system is not None:
+            self.target = system
+        else:
+            self.target = Observer()  # recovery steps: no downstream consumer
         self.plan = plan
+        self.capture = (
+            capture
+            if capture is not None
+            else lambda: capture_crash_state(system)
+        )
         self.events_seen = 0
         self.fired = False
 
     def _tick(self) -> None:
         if not self.fired and self.events_seen >= self.plan.at_event:
             self.fired = True
-            raise PowerFailure(capture_crash_state(self.system))
+            raise PowerFailure(self.capture())
         self.events_seen += 1
 
     # Delegation: the crash check runs before the target sees the event.

@@ -66,6 +66,10 @@ class ProtocolMutations:
     * ``recovery_stale_pc`` — recovery resumes from the durable PC
       checkpoint even when newer boundary entries survive in the
       buffers.
+    * ``recovery_early_clear`` — recovery retires the proxy buffers and
+      WPQ journal *before* applying their redo/undo instead of at the
+      recovery-complete commit step; invisible to a single-crash run
+      but fatal to re-entry (the multi-crash campaign's teeth test).
     """
 
     skip_undo_log: bool = False
@@ -80,6 +84,7 @@ class ProtocolMutations:
     invalidate_everything: bool = False
     recovery_skip_redo: bool = False
     recovery_stale_pc: bool = False
+    recovery_early_clear: bool = False
 
     @classmethod
     def single(cls, name: str) -> "ProtocolMutations":

@@ -41,12 +41,27 @@ before it trusts.  Two modes:
   resumed).  The outcome is described by a structured
   :class:`RecoveryReport` — corruption is detected and contained, never
   silently mis-recovered.
+
+Re-entrancy (docs/INTERNALS.md §5.6)
+------------------------------------
+Recovery itself runs on mains power and can lose it.  The protocol is
+therefore executed as an *ordered sequence of durable steps* — WPQ
+replay writes, per-entry redo applies, checkpoint-array restores, undo
+rollbacks, register/continuation restores — over a live persistent
+domain (:func:`run_recovery`), with one standard Observer callback per
+step so a :class:`~repro.arch.crash.CrashInjector` can cut power
+mid-recovery exactly as it does mid-execution.  The durable inputs
+(proxy buffers, WPQ journal, PC checkpoints) are read-only until the
+final *recovery-complete commit* step, and every step writes absolute
+values derived from those inputs — so re-entering recovery over a
+recovery-crashed domain replays the same step sequence and converges to
+the bit-identical :class:`RecoveredState` of an uninterrupted recovery.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.arch.crash import CrashState
 from repro.arch.proxy import ProxyEntry, word_checksum
@@ -55,6 +70,7 @@ from repro.ir.instructions import BinOp, Move, UnOp, eval_binop, eval_unop
 from repro.ir.module import Module, ckpt_slot_addr, is_ckpt_addr
 from repro.ir.values import Reg
 from repro.isa.machine import Continuation, Machine
+from repro.isa.trace import Observer
 
 
 class RecoveryError(Exception):
@@ -167,6 +183,10 @@ class RecoveredState:
     #: checkpoint-array shadow words after recovery (re-seeded into the
     #: resumed system so a later crash still verifies).
     ckpt_shadow: Dict[int, int] = field(default_factory=dict)
+    #: durable recovery steps executed (= observer events emitted).
+    steps: int = 0
+    #: True once the final recovery-complete commit step has applied.
+    committed: bool = False
 
 
 def _eval_recovery_block(rb: RecoveryBlock, regs: List[int]) -> None:
@@ -187,41 +207,6 @@ def _eval_recovery_block(rb: RecoveryBlock, regs: List[int]) -> None:
             raise RecoveryError(f"impure instruction in recovery block: {instr!r}")
 
 
-def _replay_wpq(
-    state: CrashState,
-    image: Dict[int, int],
-    shadow: Dict[int, int],
-    out: "RecoveredState",
-    strict: bool,
-) -> None:
-    """Drain the surviving write-pending-queue journal into the array.
-
-    The WPQ sits inside the persistent domain (Table 1), so its records
-    survive the outage even if the array writes they describe were cut
-    mid-drain; replaying them in order is idempotent and heals a
-    partially drained array.
-    """
-    for rec in state.wpq:
-        if not rec.intact:
-            if strict:
-                raise WpqCorruptionError(
-                    f"WPQ record for {rec.addr:#x} failed its checksum"
-                )
-            out.report.add(
-                TORN_WPQ,
-                core=-1,
-                detail=f"WPQ record for {rec.addr:#x} dropped",
-                addr=rec.addr,
-            )
-            out.report.tainted_addrs.add(rec.addr)
-            continue
-        if image.get(rec.addr) != rec.value:
-            out.report.wpq_replayed += 1
-        image[rec.addr] = rec.value
-        if is_ckpt_addr(rec.addr):
-            shadow[rec.addr] = word_checksum(rec.addr, rec.value)
-
-
 def _first_torn_boundary(entries: List[ProxyEntry]) -> Optional[int]:
     for i, e in enumerate(entries):
         if e.is_boundary and not e.intact:
@@ -240,21 +225,134 @@ def recover(
 
     ``mutations`` (a :class:`repro.arch.persistence.ProtocolMutations`)
     plants recovery-protocol bugs for checker-sensitivity tests
-    (``recovery_skip_redo``, ``recovery_stale_pc``); leave ``None`` for
-    the faithful protocol.
+    (``recovery_skip_redo``, ``recovery_stale_pc``,
+    ``recovery_early_clear``); leave ``None`` for the faithful protocol.
+
+    This is the pure, snapshot-in/state-out view: it clones ``state``
+    and drives :func:`run_recovery` over the clone with no observer, so
+    the caller's snapshot is never mutated.  Use :func:`run_recovery`
+    directly to model a recovery that can itself lose power.
+    """
+    return run_recovery(state.clone(), module, strict=strict, mutations=mutations)
+
+
+def run_recovery(
+    domain: CrashState,
+    module: Module,
+    strict: bool = True,
+    mutations=None,
+    observer: Optional[Observer] = None,
+) -> RecoveredState:
+    """Execute recovery as an ordered sequence of durable steps over the
+    *live* persistent domain ``domain`` (mutated in place).
+
+    Every durable step — WPQ replay write, redo apply, checkpoint-array
+    restore, undo rollback, register/continuation restore, and the final
+    recovery-complete commit — is announced through ``observer`` via the
+    standard :class:`~repro.isa.trace.Observer` interface *before* its
+    durable effect takes hold.  Wrapping the call in a
+    :class:`~repro.arch.crash.CrashInjector` therefore interrupts
+    recovery with the exact tick-before-effect semantics of an execution
+    crash: a :class:`~repro.arch.crash.PowerFailure` at step *k* leaves
+    steps ``0..k-1`` applied and *k* onwards not.
+
+    The durable inputs (proxy buffers, WPQ journal, PC checkpoints) are
+    read-only until the commit step, and every step writes an absolute
+    value derived from them — never a read-modify-write of the image —
+    so calling ``run_recovery`` again over a recovery-crashed ``domain``
+    replays the same step sequence and converges to the bit-identical
+    :class:`RecoveredState` of an uninterrupted recovery (the
+    re-entrancy argument, docs/INTERNALS.md §5.6).  The commit step then
+    clears the buffers and journal and rewrites the durable PC
+    checkpoints to the post-recovery resume points.
+
+    In strict mode an integrity violation raises mid-sequence, leaving
+    ``domain`` partially recovered — but its durable inputs untouched,
+    so a later (lenient) re-entry still sees the full evidence.
+    """
+    out = RecoveredState(
+        nvm_image=domain.nvm_image,
+        resumes=[],
+        ckpt_shadow=domain.ckpt_shadow,
+    )
+    sink = observer if observer is not None else Observer()
+    for emit, apply in _recovery_steps(domain, module, out, strict, mutations):
+        emit(sink)  # a CrashInjector raises PowerFailure here
+        apply()
+        out.steps += 1
+    return out
+
+
+def _recovery_steps(
+    domain: CrashState,
+    module: Module,
+    out: RecoveredState,
+    strict: bool,
+    mutations,
+) -> Iterator[Tuple[Callable, Callable]]:
+    """Yield recovery's ordered ``(emit, apply)`` durable-step pairs.
+
+    ``emit(observer)`` announces the step; ``apply()`` performs its
+    persistent-domain mutation.  Planning code between yields (buffer
+    scans, integrity checks, report bookkeeping) runs only after every
+    earlier step has applied — the driver applies each step before
+    resuming the generator — so Phase C's image reads always see the
+    completed Phase A/B writes.
     """
     skip_redo = mutations is not None and mutations.recovery_skip_redo
     stale_pc = mutations is not None and mutations.recovery_stale_pc
-    image = dict(state.nvm_image)
-    shadow = dict(state.ckpt_shadow)
-    resumes: List[Optional[CoreResume]] = []
-    out = RecoveredState(nvm_image=image, resumes=resumes, ckpt_shadow=shadow)
+    early_clear = mutations is not None and getattr(
+        mutations, "recovery_early_clear", False
+    )
+    image = domain.nvm_image
+    shadow = domain.ckpt_shadow
+    resumes = out.resumes
     report = out.report
 
-    _replay_wpq(state, image, shadow, out, strict)
+    # -- WPQ replay: drain the surviving journal into the array --------
+    # The WPQ sits inside the persistent domain (Table 1), so its
+    # records survive the outage even if the array writes they describe
+    # were cut mid-drain; replaying them in order is idempotent and
+    # heals a partially drained array.
+    for rec in list(domain.wpq):
+        if not rec.intact:
+            if strict:
+                raise WpqCorruptionError(
+                    f"WPQ record for {rec.addr:#x} failed its checksum"
+                )
+            report.add(
+                TORN_WPQ,
+                core=-1,
+                detail=f"WPQ record for {rec.addr:#x} dropped",
+                addr=rec.addr,
+            )
+            report.tainted_addrs.add(rec.addr)
+            continue
 
-    for core in range(state.num_cores):
-        entries = state.core_entries[core]
+        def emit(obs, rec=rec):
+            obs.on_store(-1, rec.addr, rec.value, image.get(rec.addr, 0))
+
+        def apply(rec=rec):
+            if image.get(rec.addr) != rec.value:
+                report.wpq_replayed += 1
+            image[rec.addr] = rec.value
+            if is_ckpt_addr(rec.addr):
+                shadow[rec.addr] = word_checksum(rec.addr, rec.value)
+
+        yield emit, apply
+
+    entries_by_core = [list(domain.core_entries[c]) for c in range(domain.num_cores)]
+    if early_clear:
+        # The planted non-idempotence bug: durable buffers are cleared
+        # HERE, before the redo/undo they hold has been applied, instead
+        # of at the commit step.  A crash anywhere in the remainder of
+        # recovery strands the re-entry without its inputs — exactly the
+        # class of bug the multi-crash campaign exists to catch.
+        domain.core_entries = [[] for _ in range(domain.num_cores)]
+        domain.wpq = []
+
+    for core in range(domain.num_cores):
+        entries = entries_by_core[core]
 
         if strict:
             for e in entries:
@@ -288,7 +386,7 @@ def recover(
         # The resume point starts at the durable PC checkpoint (regions
         # whose boundary entry already completed phase 2); surviving
         # boundary entries in the buffers are newer and override it.
-        last_continuation, last_region_id = state.pc_checkpoints.get(
+        last_continuation, last_region_id = domain.pc_checkpoints.get(
             core, (None, None)
         )
 
@@ -314,11 +412,27 @@ def recover(
                     core_tainted = True
                     continue
                 if data.redo_valid and not skip_redo:
-                    image[data.addr] = data.redo
-                    out.redo_words += 1
+
+                    def emit(obs, core=core, data=data):
+                        obs.on_store(
+                            core, data.addr, data.redo, image.get(data.addr, 0)
+                        )
+
+                    def apply(data=data):
+                        image[data.addr] = data.redo
+                        out.redo_words += 1
+
+                    yield emit, apply
             for slot_addr, value in entry.ckpts.items():
-                image[slot_addr] = value
-                shadow[slot_addr] = word_checksum(slot_addr, value)
+
+                def emit(obs, core=core, slot_addr=slot_addr, value=value):
+                    obs.on_ckpt(core, -1, value, slot_addr)
+
+                def apply(slot_addr=slot_addr, value=value):
+                    image[slot_addr] = value
+                    shadow[slot_addr] = word_checksum(slot_addr, value)
+
+                yield emit, apply
             if not stale_pc:
                 last_continuation = entry.continuation
                 last_region_id = entry.region_id
@@ -354,9 +468,16 @@ def recover(
                 report.tainted_addrs.add(data.addr)
                 core_tainted = True
                 continue
-            image[data.addr] = data.undo
-            out.undo_words += 1
             rolled_any = True
+
+            def emit(obs, core=core, data=data):
+                obs.on_store(core, data.addr, data.undo, image.get(data.addr, 0))
+
+            def apply(data=data):
+                image[data.addr] = data.undo
+                out.undo_words += 1
+
+            yield emit, apply
         if tail and rolled_any:
             out.regions_rolled_back += 1
 
@@ -420,17 +541,43 @@ def recover(
             report.tainted_addrs.add(corrupt_slot)
             resumes.append(None)
             continue
-        for rb in func.recovery_blocks.get(last_region_id, []):
-            _eval_recovery_block(rb, regs)
-            out.recovery_blocks_run += 1
-        resumes.append(
-            CoreResume(
-                continuation=cont,
-                region_id=last_region_id,
-                registers=regs,
+
+        # The register/continuation restore is one durable step: the
+        # resume point becomes real (recovery blocks rebuild pruned
+        # slots as part of it, Section 4.4.1).
+        def emit(obs, core=core, cont=cont, rid=last_region_id):
+            obs.on_boundary(core, rid, cont)
+
+        def apply(cont=cont, rid=last_region_id, regs=regs, func=func):
+            for rb in func.recovery_blocks.get(rid, []):
+                _eval_recovery_block(rb, regs)
+                out.recovery_blocks_run += 1
+            resumes.append(
+                CoreResume(continuation=cont, region_id=rid, registers=regs)
             )
-        )
-    return out
+
+        yield emit, apply
+
+    # -- recovery-complete commit: the single atomicity point ----------
+    # Only after every redo/undo/restore has applied do the proxy
+    # buffers, the WPQ journal, and the stale PC checkpoints get
+    # retired.  A crash at any earlier step leaves all durable inputs in
+    # place; a crash *at* this step (emit fires, apply does not) too —
+    # so re-entry always recovers from the original evidence.
+    def emit(obs):
+        obs.on_fence(-1)
+
+    def apply():
+        domain.core_entries = [[] for _ in range(domain.num_cores)]
+        domain.wpq = []
+        domain.pc_checkpoints = {
+            c: (r.continuation, r.region_id)
+            for c, r in enumerate(resumes)
+            if r is not None
+        }
+        out.committed = True
+
+    yield emit, apply
 
 
 def prepare_resumed_run(

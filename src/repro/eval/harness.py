@@ -241,12 +241,17 @@ class EvalHarness:
 
     # -- robustness ---------------------------------------------------------
 
-    def fault_campaign(self, name: str, campaign_config=None):
+    def fault_campaign(self, name: str, campaign_config=None, depth: int = 1):
         """Run a crash-consistency fault-injection campaign on a benchmark.
 
         Compiles ``name`` the same way :meth:`run` does and sweeps crash
         points under :mod:`repro.fault` with this harness's parameters;
         returns a :class:`~repro.fault.campaign.CampaignResult`.
+
+        ``depth`` > 1 (or a ``campaign_config`` with ``depth`` > 1)
+        switches on the nested-failure mode: crash chains injected into
+        recovery itself, judged against the idempotence oracle on top of
+        the differential one (:mod:`repro.fault.multicrash`).
         """
         from repro.fault.campaign import CampaignConfig, run_workload_campaign
 
@@ -254,4 +259,5 @@ class EvalHarness:
         cc.params = cc.params or self.params
         cc.quantum = self.quantum
         cc.check = cc.check or self.check
+        cc.depth = max(cc.depth, depth)
         return run_workload_campaign(name, cc, scale=self.scale)

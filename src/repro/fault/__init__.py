@@ -11,11 +11,15 @@ Turns crash testing from anecdote into campaign:
   area, per-core at-least-once I/O), and failure minimization,
 * :mod:`repro.fault.campaign` — the runner: enumerate every observer
   event of a workload (or a seeded sample), crash at each, inject
-  faults, recover, resume, and judge the outcome.
+  faults, recover, resume, and judge the outcome,
+* :mod:`repro.fault.multicrash` — the nested-failure mode: crash chains
+  injected into recovery itself (``CampaignConfig.depth`` > 1), judged
+  against the recovery-idempotence oracle on top of the usual two.
 
 Command line::
 
     python -m repro.fault --workload genome --scale 0.1 --sample 50
+    python -m repro.fault --workload deep-call --multi-crash --depth 2
 """
 
 from repro.fault.campaign import (
@@ -25,6 +29,7 @@ from repro.fault.campaign import (
     run_campaign,
     run_workload_campaign,
 )
+from repro.fault.multicrash import diff_recoveries, run_multi_crash_point
 from repro.fault.models import (
     FaultModel,
     FaultNote,
@@ -45,6 +50,8 @@ __all__ = [
     "CrashOutcome",
     "run_campaign",
     "run_workload_campaign",
+    "diff_recoveries",
+    "run_multi_crash_point",
     "FaultModel",
     "FaultNote",
     "available_models",

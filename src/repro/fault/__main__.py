@@ -9,13 +9,19 @@ Examples::
     python -m repro.fault --workload genome --scale 0.1 --sample 50 \\
         --models all --lenient
 
+    # Nested-failure sweep: crash, then crash again inside recovery:
+    python -m repro.fault --workload update-loop --multi-crash --depth 2 \\
+        --sample 20 --stats-json out.json
+
 Exit status is non-zero iff the campaign found a failure (a silent
-mis-recovery, a clean-crash divergence, or an unexpected error).
+mis-recovery, a clean-crash divergence, a non-idempotent re-entered
+recovery, or an unexpected error).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -74,7 +80,47 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="run the online persistency checker (repro.check) as a "
         "second oracle at every sweep point",
     )
+    parser.add_argument(
+        "--multi-crash",
+        action="store_true",
+        help="nested-failure mode: also inject crashes into recovery "
+        "itself (crash chains up to --depth total failures)",
+    )
+    parser.add_argument(
+        "--depth",
+        type=int,
+        default=None,
+        help="total crashes per chain (default 2 with --multi-crash); "
+        "implies --multi-crash when > 1",
+    )
+    parser.add_argument(
+        "--secondary-sample",
+        type=int,
+        default=12,
+        help="recovery-step crash indices sampled per chain level "
+        "(0 = exhaustive; default 12)",
+    )
+    parser.add_argument(
+        "--max-chains",
+        type=int,
+        default=96,
+        help="chain budget per primary crash point (skipped chains are "
+        "reported, never silent; default 96)",
+    )
+    parser.add_argument(
+        "--stats-json",
+        metavar="PATH",
+        default=None,
+        help="write the campaign's machine-readable summary (counts, "
+        "quarantine detail, first failure) to PATH as JSON",
+    )
     args = parser.parse_args(argv)
+
+    depth = args.depth
+    if depth is None:
+        depth = 2 if args.multi_crash else 1
+    if depth < 1:
+        parser.error("--depth must be >= 1")
 
     model_names = tuple(
         name.strip() for name in args.models.split(",") if name.strip()
@@ -93,6 +139,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         strict=strict,
         minimize=args.minimize,
         check=args.check,
+        depth=depth,
+        secondary_sample=args.secondary_sample or None,
+        max_chains_per_point=args.max_chains,
     )
     try:
         result = run_workload_campaign(
@@ -101,6 +150,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     except KeyError as err:  # unknown workload or fault model
         parser.error(str(err.args[0] if err.args else err))
     print(result.summary())
+    if args.stats_json:
+        with open(args.stats_json, "w") as fh:
+            json.dump(result.to_stats(), fh, indent=2, sort_keys=True)
+        print(f"stats written to {args.stats_json}")
     return 0 if result.ok else 1
 
 

@@ -60,7 +60,13 @@ from repro.fault.oracle import (
 from repro.ir.module import Module
 from repro.isa.machine import MachineError
 
-FAILURE_STATUSES = ("mismatch", "silent-mismatch", "model-violation", "error")
+FAILURE_STATUSES = (
+    "mismatch",
+    "silent-mismatch",
+    "model-violation",
+    "divergent-recovery",
+    "error",
+)
 
 
 @dataclass
@@ -81,6 +87,20 @@ class CampaignConfig:
     #: run the online persistency checker (:mod:`repro.check`) as a second
     #: oracle at every sweep point — see the module docstring.
     check: bool = False
+    #: crash-chain depth: 1 = classic single-crash sweep; K > 1 adds
+    #: crashes *inside recovery* (crash-after-crash) up to K total
+    #: failures per chain — see :mod:`repro.fault.multicrash`.
+    depth: int = 1
+    #: per-recovery secondary crash indices: None = exhaustive (every
+    #: recovery step); else a seeded sample size.
+    secondary_sample: Optional[int] = 12
+    #: hard budget on chains explored per primary crash point; chains
+    #: beyond it are counted as truncated, never silently dropped.
+    max_chains_per_point: int = 96
+    #: planted recovery-protocol bugs (repro.arch.persistence.
+    #: ProtocolMutations) threaded into every recovery the campaign
+    #: runs — the multi-crash mode's sensitivity ("teeth") knob.
+    mutations: Optional[object] = None
 
     @classmethod
     def from_spec(cls, spec, **overrides) -> "CampaignConfig":
@@ -88,12 +108,14 @@ class CampaignConfig:
 
         The spec's threshold/quantum/params/seed/max_steps carry over;
         campaign-only knobs (models, strictness, sampling) come from
-        ``overrides`` or the defaults.
+        ``overrides`` or the defaults.  An explicit ``spec.seed`` is
+        honoured even when it is 0 — only an *unset* (``None``) seed
+        falls back to the campaign default.
         """
         base = dict(
             threshold=spec.effective_threshold,
             quantum=spec.quantum,
-            seed=spec.seed or cls.seed,
+            seed=spec.seed if spec.seed is not None else cls.seed,
             max_steps=spec.max_steps,
             params=spec.params,
             check=spec.check,
@@ -104,17 +126,30 @@ class CampaignConfig:
 
 @dataclass
 class CrashOutcome:
-    """One sweep point's result."""
+    """One sweep point's (or crash chain's) result."""
 
     event_index: int
     status: str
     detail: str = ""
     injected: int = 0  # fault notes (mutations actually performed)
     findings: int = 0  # recovery-report findings
+    #: secondary crash step indices inside recovery, outermost first
+    #: (empty for the classic single-crash sweep).
+    chain: Tuple[int, ...] = ()
+    #: RecoveryReport quarantine detail of the final recovery.
+    quarantined_entries: int = 0
+    fenced_cores: Tuple[int, ...] = ()
+    tainted_addrs: int = 0
 
     @property
     def failed(self) -> bool:
         return self.status in FAILURE_STATUSES
+
+    @property
+    def crashes(self) -> int:
+        """Total power failures in this outcome's history (primary +
+        crashes injected into recovery)."""
+        return 1 + len(self.chain)
 
 
 @dataclass
@@ -128,6 +163,10 @@ class CampaignResult:
     total_events: int
     outcomes: List[CrashOutcome] = field(default_factory=list)
     minimized: Optional[MinimizedFailure] = None
+    #: crash-chain depth the campaign ran at (1 = single-crash sweep).
+    depth: int = 1
+    #: chains skipped by the per-point chain budget (never silent).
+    truncated_chains: int = 0
 
     @property
     def failures(self) -> List[CrashOutcome]:
@@ -143,21 +182,78 @@ class CampaignResult:
             counts[o.status] = counts.get(o.status, 0) + 1
         return counts
 
+    def quarantine_stats(self) -> Dict[str, int]:
+        """Aggregate RecoveryReport detail across all outcomes: how much
+        corruption lenient recovery contained (rather than just that it
+        did)."""
+        fenced: set = set()
+        for o in self.outcomes:
+            fenced.update(o.fenced_cores)
+        return {
+            "quarantined_outcomes": sum(
+                1 for o in self.outcomes if o.status == "quarantined"
+            ),
+            "quarantined_entries": sum(o.quarantined_entries for o in self.outcomes),
+            "fenced_cores": len(fenced),
+            "tainted_addrs": sum(o.tainted_addrs for o in self.outcomes),
+        }
+
+    def to_stats(self) -> Dict[str, object]:
+        """JSON-ready artifact for ``--stats-json`` / SweepReport."""
+        out: Dict[str, object] = {
+            "workload": self.workload,
+            "models": list(self.models),
+            "strict": self.strict,
+            "seed": self.seed,
+            "depth": self.depth,
+            "total_events": self.total_events,
+            "points": len(self.outcomes),
+            "counts": self.counts(),
+            "quarantine": self.quarantine_stats(),
+            "truncated_chains": self.truncated_chains,
+            "ok": self.ok,
+        }
+        if self.failures:
+            first = self.failures[0]
+            out["first_failure"] = {
+                "event_index": first.event_index,
+                "chain": list(first.chain),
+                "status": first.status,
+                "detail": first.detail,
+            }
+        return out
+
     def summary(self) -> str:
         lines = [
             f"fault campaign: {self.workload}  "
             f"models={','.join(self.models)}  "
             f"mode={'strict' if self.strict else 'lenient'}  "
-            f"seed={self.seed:#x}",
+            f"seed={self.seed:#x}"
+            + (f"  depth={self.depth}" if self.depth > 1 else ""),
             f"  crash points: {len(self.outcomes)} of {self.total_events} "
             "events",
         ]
         for status, n in sorted(self.counts().items()):
             lines.append(f"  {status:>16}: {n}")
+        q = self.quarantine_stats()
+        if q["quarantined_outcomes"]:
+            lines.append(
+                f"  quarantine detail: {q['quarantined_entries']} entries, "
+                f"{q['fenced_cores']} distinct cores fenced, "
+                f"{q['tainted_addrs']} tainted addrs (summed over points)"
+            )
+        if self.truncated_chains:
+            lines.append(
+                f"  chain budget hit: {self.truncated_chains} chains "
+                "truncated (raise max_chains_per_point to explore them)"
+            )
         if self.failures:
             first = self.failures[0]
+            where = f"event {first.event_index}"
+            if first.chain:
+                where += f" chain {list(first.chain)}"
             lines.append(
-                f"  FIRST FAILURE at event {first.event_index}: "
+                f"  FIRST FAILURE at {where}: "
                 f"{first.status} — {first.detail}"
             )
             if self.minimized is not None:
@@ -192,6 +288,147 @@ def _point_rng(seed: int, event_index: int) -> random.Random:
     return random.Random((seed << 20) ^ event_index)
 
 
+def report_fields(report) -> Dict[str, object]:
+    """CrashOutcome keyword detail lifted off a RecoveryReport."""
+    return dict(
+        findings=len(report.findings),
+        quarantined_entries=report.quarantined_entries,
+        fenced_cores=tuple(report.quarantined_cores),
+        tainted_addrs=len(report.tainted_addrs),
+    )
+
+
+def capture_at(
+    module: Module,
+    spawns: Sequence[Tuple[str, Sequence[int]]],
+    event_index: int,
+    config: CampaignConfig,
+):
+    """Run under the Capri system to one crash point.
+
+    Returns ``(state, machine, checker)`` — ``state`` is ``None`` when
+    the program finished before the crash point; ``checker`` is the
+    attached :class:`~repro.check.checker.PersistencyChecker` when
+    ``config.check`` is on (already fed the pre-crash event stream and
+    crash-state comparison), else ``None``.
+    """
+    if not config.check:
+        state, machine = run_until_crash_with_machine(
+            module,
+            spawns,
+            CrashPlan(event_index),
+            params=config.params,
+            threshold=config.threshold,
+            quantum=config.quantum,
+            max_steps=config.max_steps,
+        )
+        return state, machine, None
+
+    from repro.arch.crash import run_built_until_crash
+    from repro.arch.system import build_system
+    from repro.check.checker import PersistencyChecker
+
+    machine, system = build_system(
+        module,
+        spawns,
+        params=config.params,
+        threshold=config.threshold,
+        quantum=config.quantum,
+    )
+    checker = PersistencyChecker.attach(system)
+    state = run_built_until_crash(
+        machine,
+        system,
+        CrashPlan(event_index),
+        max_steps=config.max_steps,
+        extra_observer=checker,
+    )
+    if state is None:
+        system.finish()
+        checker.finalize(system)
+    else:
+        # The capture precedes fault injection, so the crash-state
+        # check is valid for every model combination.
+        checker.check_crash_state(state)
+    return state, machine, checker
+
+
+def judge_recovered(
+    module: Module,
+    spawns: Sequence[Tuple[str, Sequence[int]]],
+    golden: GoldenResult,
+    event_index: int,
+    recovered,
+    pre_crash_io: List[tuple],
+    notes: Sequence[FaultNote],
+    config: CampaignConfig,
+    chain: Tuple[int, ...] = (),
+) -> CrashOutcome:
+    """Resume a recovered state to completion and judge it against the
+    differential oracle.  ``chain`` labels the secondary crash steps that
+    produced this recovery (multi-crash mode)."""
+    report = recovered.report
+    try:
+        finished = resume_and_finish(
+            recovered,
+            module,
+            spawns,
+            quantum=config.quantum,
+            max_steps=config.max_steps,
+        )
+    except (MachineError, RecoveryError) as err:
+        if not config.strict and not report.clean:
+            return CrashOutcome(
+                event_index,
+                "quarantined",
+                detail=f"resume refused after quarantine — {err}",
+                injected=len(notes),
+                chain=chain,
+                **report_fields(report),
+            )
+        return CrashOutcome(
+            event_index,
+            "error",
+            detail=f"resume failed — {type(err).__name__}: {err}",
+            injected=len(notes),
+            chain=chain,
+        )
+
+    verdict = differential_check(
+        golden, finished, pre_crash_io=pre_crash_io, report=report
+    )
+    if verdict.equivalent:
+        return CrashOutcome(
+            event_index,
+            "ok",
+            injected=len(notes),
+            chain=chain,
+            **report_fields(report),
+        )
+    if not config.strict and verdict.contained_by(report):
+        return CrashOutcome(
+            event_index,
+            "quarantined",
+            detail=report.summary(),
+            injected=len(notes),
+            chain=chain,
+            **report_fields(report),
+        )
+    status = "silent-mismatch" if notes else "mismatch"
+    return CrashOutcome(
+        event_index,
+        status,
+        detail=(
+            f"{len(verdict.mismatched_addrs)} addrs diverge "
+            f"(first: {[hex(a) for a in verdict.mismatched_addrs[:4]]}), "
+            f"io_ok={verdict.io_ok}, report: {report.summary()}"
+        ),
+        injected=len(notes),
+        chain=chain,
+        **report_fields(report),
+    )
+
+
 def run_sweep_point(
     module: Module,
     spawns: Sequence[Tuple[str, Sequence[int]]],
@@ -201,49 +438,14 @@ def run_sweep_point(
     config: CampaignConfig,
 ) -> CrashOutcome:
     """Crash at one event index, inject, recover, resume, judge."""
-    checker = None
-    if config.check:
-        from repro.arch.crash import run_built_until_crash
-        from repro.arch.system import build_system
-        from repro.check.checker import PersistencyChecker
-
-        crashed_machine, system = build_system(
-            module,
-            spawns,
-            params=config.params,
-            threshold=config.threshold,
-            quantum=config.quantum,
-        )
-        checker = PersistencyChecker.attach(system)
-        state = run_built_until_crash(
-            crashed_machine,
-            system,
-            CrashPlan(event_index),
-            max_steps=config.max_steps,
-            extra_observer=checker,
-        )
-        if state is None:
-            system.finish()
-            checker.finalize(system)
-        else:
-            # The capture precedes fault injection, so the crash-state
-            # check is valid for every model combination.
-            checker.check_crash_state(state)
-        if not checker.report.ok:
-            return CrashOutcome(
-                event_index,
-                "model-violation",
-                detail=checker.report.summary(),
-            )
-    else:
-        state, crashed_machine = run_until_crash_with_machine(
-            module,
-            spawns,
-            CrashPlan(event_index),
-            params=config.params,
-            threshold=config.threshold,
-            quantum=config.quantum,
-            max_steps=config.max_steps,
+    state, crashed_machine, checker = capture_at(
+        module, spawns, event_index, config
+    )
+    if checker is not None and not checker.report.ok:
+        return CrashOutcome(
+            event_index,
+            "model-violation",
+            detail=checker.report.summary(),
         )
     if state is None:
         return CrashOutcome(event_index, "finished")
@@ -254,7 +456,9 @@ def run_sweep_point(
     )
 
     try:
-        recovered = recover(mutated, module, strict=config.strict)
+        recovered = recover(
+            mutated, module, strict=config.strict, mutations=config.mutations
+        )
     except RecoveryError as err:
         if notes:
             return CrashOutcome(
@@ -280,61 +484,17 @@ def run_sweep_point(
                 event_index,
                 "model-violation",
                 detail=checker.report.summary(),
-                findings=len(report.findings),
+                **report_fields(report),
             )
-    try:
-        finished = resume_and_finish(
-            recovered,
-            module,
-            spawns,
-            quantum=config.quantum,
-            max_steps=config.max_steps,
-        )
-    except (MachineError, RecoveryError) as err:
-        if not config.strict and not report.clean:
-            return CrashOutcome(
-                event_index,
-                "quarantined",
-                detail=f"resume refused after quarantine — {err}",
-                injected=len(notes),
-                findings=len(report.findings),
-            )
-        return CrashOutcome(
-            event_index,
-            "error",
-            detail=f"resume failed — {type(err).__name__}: {err}",
-            injected=len(notes),
-        )
-
-    verdict = differential_check(
-        golden, finished, pre_crash_io=pre_crash_io, report=report
-    )
-    if verdict.equivalent:
-        return CrashOutcome(
-            event_index,
-            "ok",
-            injected=len(notes),
-            findings=len(report.findings),
-        )
-    if not config.strict and verdict.contained_by(report):
-        return CrashOutcome(
-            event_index,
-            "quarantined",
-            detail=report.summary(),
-            injected=len(notes),
-            findings=len(report.findings),
-        )
-    status = "silent-mismatch" if notes else "mismatch"
-    return CrashOutcome(
+    return judge_recovered(
+        module,
+        spawns,
+        golden,
         event_index,
-        status,
-        detail=(
-            f"{len(verdict.mismatched_addrs)} addrs diverge "
-            f"(first: {[hex(a) for a in verdict.mismatched_addrs[:4]]}), "
-            f"io_ok={verdict.io_ok}, report: {report.summary()}"
-        ),
-        injected=len(notes),
-        findings=len(report.findings),
+        recovered,
+        pre_crash_io,
+        notes,
+        config,
     )
 
 
@@ -365,13 +525,24 @@ def run_campaign(
         strict=config.strict,
         seed=config.seed,
         total_events=golden.total_events,
+        depth=max(1, config.depth),
     )
-    for at in points:
-        result.outcomes.append(
-            run_sweep_point(module, spawns, golden, at, models, config)
-        )
+    if config.depth > 1:
+        from repro.fault.multicrash import run_multi_crash_point
 
-    if config.minimize and result.failures:
+        for at in points:
+            outcomes, truncated = run_multi_crash_point(
+                module, spawns, golden, at, models, config
+            )
+            result.outcomes.extend(outcomes)
+            result.truncated_chains += truncated
+    else:
+        for at in points:
+            result.outcomes.append(
+                run_sweep_point(module, spawns, golden, at, models, config)
+            )
+
+    if config.minimize and result.failures and not result.failures[0].chain:
         first = result.failures[0]
 
         def still_fails(index: int, model_names: Tuple[str, ...]) -> bool:
@@ -385,6 +556,7 @@ def run_campaign(
                 max_steps=config.max_steps,
                 params=config.params,
                 check=config.check,
+                mutations=config.mutations,
             )
             outcome = run_sweep_point(
                 module, spawns, golden, index, get_models(model_names), probe

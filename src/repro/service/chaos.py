@@ -6,8 +6,19 @@ request's execution — reusing :class:`repro.arch.crash.CrashInjector`
 exactly as the fault campaign does, but live, inside a serving tenant.
 
 Schedules are seeded and independent of wall clock or asyncio
-interleaving: a tenant counts its own apply-attempts (replays included),
-so a given seed produces the same injection points run after run.
+interleaving: a tenant counts its own apply-attempts (replays included)
+and recovery-attempts, so a given seed produces the same injection
+points run after run.
+
+Two kinds of failure are planned:
+
+* *execution* crashes — (tenant, apply-attempt ordinal) -> observer
+  event index inside that request's run, and
+* *recovery* crashes — (tenant, recovery-attempt ordinal) -> durable
+  step index inside :func:`repro.arch.recovery.run_recovery`, modelling
+  power dying again while the lights were already out.  Re-entrant
+  recovery makes these survivable: the tenant re-enters over the
+  recovery-crashed domain.
 """
 
 from __future__ import annotations
@@ -15,14 +26,22 @@ from __future__ import annotations
 import random
 from typing import Dict, Optional, Sequence, Tuple
 
+#: Recovery-attempt ordinals eligible for planned recovery crashes (the
+#: first few recoveries of a tenant; later ones are increasingly rare).
+_RECOVERY_ORDINALS = 4
+
 
 class CrashSchedule:
     """Seeded plan: (tenant, attempt ordinal) -> crash event index."""
 
     def __init__(
-        self, plans: Dict[Tuple[str, int], int], seed: int = 0
+        self,
+        plans: Dict[Tuple[str, int], int],
+        seed: int = 0,
+        recovery_plans: Optional[Dict[Tuple[str, int], int]] = None,
     ) -> None:
         self._plans = dict(plans)
+        self._recovery_plans = dict(recovery_plans or {})
         self.seed = seed
         self.fired = 0
 
@@ -34,6 +53,8 @@ class CrashSchedule:
         requests_per_tenant: int,
         seed: int = 0,
         event_range: Tuple[int, int] = (1, 35),
+        recovery_crashes: int = 0,
+        recovery_step_range: Tuple[int, int] = (1, 12),
     ) -> "CrashSchedule":
         """Spread ``crashes`` failures across tenants and request ordinals.
 
@@ -41,6 +62,11 @@ class CrashSchedule:
         crashes actually fire (a plan past the request's last event is a
         no-op, exactly like a campaign crash past end-of-program; a
         single KV op produces roughly 40 observer events).
+
+        ``recovery_crashes`` additionally plans that many power failures
+        *inside recovery* (nested failures), keyed by the tenant's
+        recovery-attempt ordinal; a step index past the recovery's
+        actual step count is a no-op, same as above.
         """
         rng = random.Random(seed)
         plans: Dict[Tuple[str, int], int] = {}
@@ -54,7 +80,21 @@ class CrashSchedule:
         picks = rng.sample(universe, min(crashes, len(universe)))
         for tid, ordinal in picks:
             plans[(tid, ordinal)] = rng.randint(*event_range)
-        return cls(plans, seed)
+        recovery_plans: Dict[Tuple[str, int], int] = {}
+        if recovery_crashes > 0:
+            r_universe = [
+                (tid, ordinal)
+                for tid in tenant_ids
+                for ordinal in range(_RECOVERY_ORDINALS)
+            ]
+            r_picks = rng.sample(
+                r_universe, min(recovery_crashes, len(r_universe))
+            )
+            for tid, ordinal in r_picks:
+                recovery_plans[(tid, ordinal)] = rng.randint(
+                    *recovery_step_range
+                )
+        return cls(plans, seed, recovery_plans=recovery_plans)
 
     @classmethod
     def never(cls) -> "CrashSchedule":
@@ -64,9 +104,20 @@ class CrashSchedule:
         """Event index to crash this attempt at, or ``None``."""
         return self._plans.get((tenant_id, ordinal))
 
+    def recovery_crash_event(
+        self, tenant_id: str, ordinal: int
+    ) -> Optional[int]:
+        """Recovery step index to crash this recovery attempt at, or
+        ``None``."""
+        return self._recovery_plans.get((tenant_id, ordinal))
+
     def note_fired(self) -> None:
         self.fired += 1
 
     @property
     def planned(self) -> int:
         return len(self._plans)
+
+    @property
+    def planned_recovery(self) -> int:
+        return len(self._recovery_plans)

@@ -46,6 +46,8 @@ class LoadgenConfig:
     clients_per_tenant: int = 4
     requests: int = 1000  # total, spread across tenants/clients
     crashes: int = 5
+    #: nested failures: power failures injected into recovery itself.
+    recovery_crashes: int = 0
     seed: int = 0
     key_space: int = 40
     backend: str = "memory"
@@ -213,6 +215,7 @@ async def run_loadgen(config: LoadgenConfig) -> LoadgenReport:
         crashes=config.crashes,
         requests_per_tenant=per_client * config.clients_per_tenant,
         seed=config.seed,
+        recovery_crashes=config.recovery_crashes,
     )
     service = Service(
         ServiceConfig(
@@ -295,6 +298,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="total requests across the fleet")
     parser.add_argument("--crashes", type=int, default=5,
                         help="power failures to inject")
+    parser.add_argument("--recovery-crashes", type=int, default=0,
+                        help="nested failures: power failures injected "
+                        "into recovery itself (re-entrant recovery)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--key-space", type=int, default=40)
     parser.add_argument("--backend", default="memory",
@@ -320,6 +326,7 @@ def config_from_args(args: argparse.Namespace) -> LoadgenConfig:
         clients_per_tenant=args.clients,
         requests=args.requests,
         crashes=args.crashes,
+        recovery_crashes=args.recovery_crashes,
         seed=args.seed,
         key_space=args.key_space,
         backend=args.backend,

@@ -238,6 +238,20 @@ class Service:
         while True:
             try:
                 tenant.recover()
+            except PowerFailure:
+                # Power died *during recovery* (nested failure).  The
+                # tenant stashed the recovery-crashed domain as its new
+                # pending crash; run_recovery is re-entrant, so looping
+                # back converges.  It still burns an attempt so a
+                # pathological schedule cannot spin forever.
+                attempts += 1
+                if attempts > max_attempts:
+                    self.dead_letters.mark_dead(
+                        letter, attempts, "recovery attempts exhausted"
+                    )
+                    return Reply(ok=False, op=request.op, key=request.key,
+                                 error="recovery attempts exhausted")
+                continue
             except (TenantError, MachineError) as err:
                 self.dead_letters.mark_dead(letter, attempts, f"recovery: {err}")
                 return Reply(ok=False, op=request.op, key=request.key,
@@ -262,10 +276,14 @@ class Service:
             return reply
 
     def _power_cycle(self, tenant: Tenant, request: Request, err) -> Reply:
-        try:
-            tenant.power_cycle()
-        except (TenantError, MachineError):
-            pass
+        while True:
+            try:
+                tenant.power_cycle()
+            except PowerFailure:
+                continue  # nested failure: re-enter recovery
+            except (TenantError, MachineError):
+                pass
+            break
         return Reply(ok=False, op=request.op, key=request.key,
                      error=f"machine error: {err}")
 

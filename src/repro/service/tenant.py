@@ -39,7 +39,7 @@ from repro.arch.crash import (
     capture_crash_state,
 )
 from repro.arch.params import SimParams
-from repro.arch.recovery import prepare_resumed_run, recover
+from repro.arch.recovery import prepare_resumed_run, recover, run_recovery
 from repro.arch.system import CapriSystem
 from repro.compiler import CapriCompiler, OptConfig
 from repro.ir.module import Module
@@ -172,6 +172,9 @@ class Tenant:
         #: apply-attempt ordinal (replays included) — the chaos schedule's
         #: per-tenant clock.
         self.attempts = 0
+        #: recovery-attempt ordinal — the chaos schedule's clock for
+        #: *nested* failures (power dying during recovery itself).
+        self.recovery_attempts = 0
         #: tenant-local execution order of successful applies.
         self.applied_seq = 0
         self._acked_since_snapshot = 0
@@ -192,7 +195,17 @@ class Tenant:
         if state is None:
             self._fresh_machine()
             return False
-        self._recover_from(state, cold_spawn=_BOOT_SPAWN)
+        # Recovery is itself crashable (chaos may schedule a nested
+        # failure); run_recovery is re-entrant, so re-entering over the
+        # recovery-crashed domain converges.  Boot absorbs those retries
+        # itself — there is no supervisor yet to do it.
+        while True:
+            try:
+                self._recover_from(state, cold_spawn=_BOOT_SPAWN)
+                break
+            except PowerFailure as pf:
+                state = pf.state
+        self._pending_crash = None
         return True
 
     def _fresh_machine(self) -> None:
@@ -303,6 +316,13 @@ class Tenant:
         supervisor path); tests may pass an explicit snapshot.  The
         resumed machine runs to completion, finishing whatever execution
         the failure interrupted, before the tenant accepts new requests.
+
+        Recovery itself may lose power (a chaos-scheduled nested
+        failure): then this raises :class:`PowerFailure` with the
+        recovery-crashed domain stashed as the new pending crash, and the
+        supervisor simply calls :meth:`recover` again — the arch-level
+        protocol is re-entrant, so the retry converges to the same state
+        an uninterrupted recovery would have produced.
         """
         if state is None:
             state = self._pending_crash
@@ -318,7 +338,32 @@ class Tenant:
         self, state: CrashState, cold_spawn: Tuple[str, list]
     ) -> "RecoveryInfo":
         start = time.perf_counter()
-        recovered = recover(state, self.module, strict=False)
+        ordinal = self.recovery_attempts
+        self.recovery_attempts += 1
+        plan = None
+        if self.chaos is not None:
+            plan = self.chaos.recovery_crash_event(self.tenant_id, ordinal)
+        domain = state.clone()
+        observer = None
+        if plan is not None:
+            # Crash recovery itself at durable step ``plan``: the injector
+            # counts the step engine's observer events and captures the
+            # partially recovered domain — which, because run_recovery
+            # only commits at its final step, is itself recoverable.
+            observer = CrashInjector(
+                None, CrashPlan(at_event=plan), capture=lambda: domain
+            )
+        try:
+            recovered = run_recovery(domain, self.module, strict=False,
+                                     observer=observer)
+        except PowerFailure as pf:
+            self.metrics.crashes += 1
+            if self.chaos is not None:
+                self.chaos.note_fired()
+            self._pending_crash = pf.state
+            self.machine = None
+            self.system = None
+            raise
         if 0 in recovered.report.quarantined_cores:
             raise TenantError(
                 f"tenant {self.tenant_id}: core fenced off by recovery "

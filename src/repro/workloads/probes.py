@@ -20,6 +20,9 @@ STREAM_PROBE = "stream-write"
 #: Registry name of the hot-word + writeback-pressure probe.
 HOT_WRITEBACK_PROBE = "hot-writeback"
 
+#: Registry name of the deep-call-chain probe.
+DEEP_CALL_PROBE = "deep-call"
+
 
 def build_stream_probe(
     scale: float = 1.0, trips: int = None
@@ -76,6 +79,61 @@ def build_hot_writeback_probe(
             addr = f.add(arr, f.shl(word, 3))
             f.store(i, addr)
             f.store(i, hot)
+        f.ret()
+    verify_module(b.module)
+    return b.module, [("main", [])]
+
+
+def build_deep_call_probe(
+    scale: float = 1.0, trips: int = None, depth: int = 6
+) -> Tuple[Module, List[Tuple[str, Sequence[int]]]]:
+    """Nested calls with persistent-stack resumption at every depth.
+
+    A chain of *distinct* functions ``f0 → f1 → … → f{depth}`` (so every
+    suspended frame carries its own continuation and register-checkpoint
+    frame in the WSP-persistent stack, à la Aksenov et al.).  Each level
+    read-modify-writes its own counter word *before* the call and mixes
+    the callee's return value into it *after* — non-idempotent on both
+    sides of every call site, so a crash (or a crash during recovery)
+    that loses or duplicates a frame, resumes at the wrong depth, or
+    rebuilds the checkpoint array incorrectly shows up in the durable
+    image.  The leaf runs a short accumulator loop for the same reason.
+
+    The probe exists to stress checkpoint-array rebuild across many call
+    depths under crash-during-recovery — the benchmark stand-ins rarely
+    crash deeper than two frames.
+    """
+    from repro.ir import IRBuilder, verify_module
+
+    if trips is None:
+        trips = max(2, int(60 * scale))
+    b = IRBuilder(DEEP_CALL_PROBE)
+    levels = b.module.alloc("levels", depth + 1)
+    acc = b.module.alloc("acc", 1)
+
+    # Leaf: a small non-idempotent loop over the shared accumulator.
+    with b.function(f"f{depth}", ["x"]) as f:
+        with f.for_range(4) as i:
+            v = f.load(acc)
+            f.store(f.add(f.add(v, f.param(0)), i), acc)
+        f.ret(f.add(f.param(0), 1))
+
+    # Interior levels, leaf upward so every callee already exists.
+    for k in range(depth - 1, -1, -1):
+        with b.function(f"f{k}", ["x"]) as f:
+            slot = levels + 8 * k
+            before = f.load(slot)
+            f.store(f.add(f.add(before, f.param(0)), 1), slot)
+            r = f.call(f"f{k + 1}", [f.add(f.param(0), k)], returns=True)
+            after = f.load(slot)
+            f.store(f.add(f.xor(after, r), 1), slot)
+            f.ret(f.add(r, 1))
+
+    with b.function("main") as f:
+        with f.for_range(trips) as i:
+            r = f.call("f0", [i], returns=True)
+            v = f.load(acc)
+            f.store(f.add(v, r), acc)
         f.ret()
     verify_module(b.module)
     return b.module, [("main", [])]

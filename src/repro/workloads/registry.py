@@ -112,6 +112,7 @@ _register("oskernel", "os", oskernel.build_oskernel)
 # unchanged.
 _register("stream-write", "probe", probes.build_stream_probe)
 _register("hot-writeback", "probe", probes.build_hot_writeback_probe)
+_register("deep-call", "probe", probes.build_deep_call_probe)
 
 # Application workloads outside the paper's figure suites: first-class
 # registry members (sweeps, fault campaigns, the checker, and the

@@ -1,0 +1,143 @@
+"""Nested failures in the service: power dies during recovery itself.
+
+The tenant's recovery path runs the re-entrant step engine under a
+:class:`CrashInjector`, so a chaos-scheduled recovery crash surfaces as
+another :class:`PowerFailure` — and calling :meth:`Tenant.recover` again
+simply re-enters over the recovery-crashed domain and converges.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.arch.crash import PowerFailure
+from repro.service.backends import MemoryBackend
+from repro.service.chaos import CrashSchedule
+from repro.service.loadgen import LoadgenConfig, run_loadgen
+from repro.service.metrics import TenantMetrics
+from repro.service.tenant import Request, Tenant, TenantConfig
+
+
+def _tenant(chaos=None, metrics=None, backend=None):
+    tenant = Tenant(
+        "t0",
+        backend or MemoryBackend(),
+        config=TenantConfig(snapshot_every=0),
+        chaos=chaos,
+        metrics=metrics,
+    )
+    tenant.boot()
+    return tenant
+
+
+class TestSchedulePlanning:
+    def test_plan_includes_recovery_crashes(self):
+        chaos = CrashSchedule.plan(
+            ["t0", "t1"], crashes=2, requests_per_tenant=10,
+            seed=4, recovery_crashes=3,
+        )
+        assert chaos.planned == 2
+        assert chaos.planned_recovery == 3
+        hits = [
+            chaos.recovery_crash_event(tid, k)
+            for tid in ("t0", "t1")
+            for k in range(8)
+        ]
+        assert sum(1 for h in hits if h is not None) == 3
+
+    def test_plan_is_seeded(self):
+        a = CrashSchedule.plan(["t0"], 1, 10, seed=9, recovery_crashes=2)
+        b = CrashSchedule.plan(["t0"], 1, 10, seed=9, recovery_crashes=2)
+        for k in range(8):
+            assert a.recovery_crash_event("t0", k) == \
+                b.recovery_crash_event("t0", k)
+
+    def test_never_plans_nothing(self):
+        chaos = CrashSchedule.never()
+        assert chaos.planned_recovery == 0
+        assert chaos.recovery_crash_event("t0", 0) is None
+
+
+class TestTenantReentry:
+    def test_crash_during_recovery_then_reenter(self):
+        """Execution crash, then a scheduled crash inside the recovery of
+        that crash: the second recover() call converges and the table is
+        exactly what an unnested recovery would give."""
+        metrics = TenantMetrics("t0")
+        chaos = CrashSchedule(
+            {("t0", 2): 20},  # ordinal 2 = the crashing apply
+            recovery_plans={("t0", 0): 2},  # first recovery dies at step 2
+        )
+        tenant = _tenant(chaos=chaos, metrics=metrics)
+        tenant.apply(Request("put", key=1, value=10))
+        tenant.apply(Request("put", key=2, value=20))
+        with pytest.raises(PowerFailure):
+            tenant.apply(Request("put", key=3, value=30))
+        # First recovery attempt is itself crash-injected.
+        with pytest.raises(PowerFailure):
+            tenant.recover()
+        assert metrics.crashes == 2  # execution + nested
+        # Re-entry over the recovery-crashed domain converges.
+        tenant.recover()
+        assert tenant.apply(Request("put", key=3, value=30)).ok
+        table = tenant.table()
+        assert table[1] == 10 and table[2] == 20 and table[3] == 30
+        assert tenant.verify_recovered_table() == table
+
+    def test_repeated_recovery_crashes_converge(self):
+        """Several consecutive recovery attempts die; the survivor still
+        produces the right table."""
+        chaos = CrashSchedule(
+            {("t0", 1): 15},
+            recovery_plans={("t0", 0): 1, ("t0", 1): 3, ("t0", 2): 2},
+        )
+        tenant = _tenant(chaos=chaos)
+        tenant.apply(Request("put", key=7, value=70))
+        with pytest.raises(PowerFailure):
+            tenant.apply(Request("put", key=8, value=80))
+        crashes = 0
+        while True:
+            try:
+                tenant.recover()
+                break
+            except PowerFailure:
+                crashes += 1
+        assert crashes >= 1
+        assert tenant.apply(Request("put", key=8, value=80)).ok
+        assert tenant.table() == {7: 70, 8: 80}
+
+    def test_boot_absorbs_recovery_crash(self):
+        """Restart-from-snapshot goes through recovery; a nested failure
+        there is retried inside boot() (no supervisor exists yet)."""
+        backend = MemoryBackend()
+        tenant = _tenant(backend=backend)
+        tenant.apply(Request("put", key=5, value=55))
+        tenant.save_snapshot()
+
+        chaos = CrashSchedule({}, recovery_plans={("t0", 0): 1})
+        restarted = Tenant(
+            "t0", backend, config=TenantConfig(snapshot_every=0), chaos=chaos
+        )
+        assert restarted.boot() is True
+        assert restarted.table() == {5: 55}
+        assert restarted.recovery_attempts >= 2  # crashed once, re-entered
+
+
+class TestSupervisorAndLoadgen:
+    def test_loadgen_contract_with_nested_failures(self):
+        report = asyncio.run(run_loadgen(LoadgenConfig(
+            tenants=3, clients_per_tenant=2, requests=120,
+            crashes=4, recovery_crashes=4, seed=7, snapshot_every=0,
+        )))
+        assert report.ok, (report.acked_losses, report.silent_drops)
+        # Nested failures fired on top of the execution crashes.
+        assert report.stats["crashes"] > report.stats["recoveries"]
+        assert report.stats["dead_letters"]["captured"] == 0
+
+    def test_loadgen_without_recovery_crashes_unchanged(self):
+        report = asyncio.run(run_loadgen(LoadgenConfig(
+            tenants=2, clients_per_tenant=1, requests=60,
+            crashes=3, recovery_crashes=0, seed=5, snapshot_every=0,
+        )))
+        assert report.ok
+        assert report.stats["recoveries"] == report.stats["crashes"]
