@@ -4,6 +4,7 @@
 sweep      parallel benchmark sweep with persistent result cache
 fault      crash-consistency fault-injection campaign
 check      online persistency checker: sanitized runs, mutant matrix
+trace      columnar trace capture / replay / campaign bench
 profile    workload characterisation tables
 report     one-shot full evaluation report (all figures + analyses)
 figures    individual paper figures (fig8, fig9, …)
@@ -31,6 +32,7 @@ subcommands:
   sweep      parallel benchmark sweep with persistent result cache
   fault      crash-consistency fault-injection campaign
   check      online persistency checker (sanitized runs / --mutants)
+  trace      trace capture|replay|bench (repro.trace)
   profile    workload characterisation tables
   report     one-shot full evaluation report
   figures    individual paper figures (fig8, fig9, ...)
@@ -49,6 +51,8 @@ def _dispatch(command: str):
         from repro.fault.__main__ import main
     elif command == "check":
         from repro.check.__main__ import main
+    elif command == "trace":
+        from repro.trace.cli import main
     elif command == "profile":
         from repro.eval.profile import main
     elif command == "report":

@@ -120,6 +120,13 @@ class RunSpec:
     #: validates extra invariants and must not share cache entries with
     #: an unchecked one.
     check: bool = False
+    #: Serve the simulation from a captured columnar trace
+    #: (:mod:`repro.trace`): the functional event stream is recorded
+    #: once (cached under :func:`repro.trace.record.trace_fingerprint`)
+    #: and the arch/check layers replay it — metrics are bit-identical
+    #: to the interpreted path.  Part of the fingerprint: trace-served
+    #: runs are a distinct execution mode.
+    trace: bool = False
     label: str = ""
 
     # -- effective (derived) values -----------------------------------------
@@ -160,6 +167,7 @@ class RunSpec:
             persistence=False,
             seed=0,
             check=False,  # nothing persistent to check in a volatile run
+            trace=False,  # baselines stay on the interpreted path
             label="baseline",
         )
 
@@ -189,6 +197,7 @@ class RunSpec:
             "threads": self.threads,
             "max_steps": self.max_steps,
             "check": self.check,
+            "trace": self.trace,
         }
         blob = json.dumps(token, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode()).hexdigest()
@@ -200,6 +209,8 @@ class RunSpec:
             bits.append("volatile")
         if self.check:
             bits.append("check")
+        if self.trace:
+            bits.append("trace")
         if self.label:
             bits.append(self.label)
         return ":".join(bits)
@@ -252,10 +263,42 @@ def execute_spec(spec: RunSpec, keep_machine: bool = False) -> RunResult:
     The single run primitive behind the harness, the sweep engine's
     workers, and the ``run_workload(RunSpec)`` shim.  Uninstrumented specs
     skip the compiler entirely (the volatile-baseline convention).
+
+    ``spec.trace`` swaps the interpreter for the :mod:`repro.trace`
+    replay engine: the functional event stream is captured once (served
+    from the result cache's ``traces`` namespace when warm) and the
+    simulation consumes the columns — bit-identical metrics, no IR
+    re-interpretation.  ``keep_machine`` forces the interpreted path:
+    replay has no machine to return.
     """
     from repro.workloads import get_workload
 
     start = time.perf_counter()
+    if spec.trace and not keep_machine:
+        from repro.sweep.cache import resolve_cache
+        from repro.trace.codec import load_trace, store_trace
+        from repro.trace.record import capture_spec_trace, trace_fingerprint
+        from repro.trace.replay import replay_metrics
+
+        store = resolve_cache("default")
+        tfp = trace_fingerprint(spec)
+        trace = load_trace(store, tfp)
+        if trace is None:
+            trace = capture_spec_trace(spec)
+            store_trace(store, tfp, trace)
+        metrics = replay_metrics(
+            trace,
+            params=spec.effective_params,
+            threshold=spec.effective_threshold,
+            persistence=spec.effective_persistence,
+            check=spec.check,
+        )
+        return RunResult(
+            spec=spec,
+            metrics=metrics,
+            fingerprint=spec.fingerprint(),
+            wall_s=time.perf_counter() - start,
+        )
     workload = get_workload(spec.workload)
     module, spawns = workload.build(spec.scale, threads=spec.threads)
     config = spec.effective_config

@@ -88,6 +88,10 @@ class CapriSystem(Observer):
         self.mem = MemoryHierarchy(params, num_cores, self.nvm, on_wb)
         self.cores = [CoreTimer(params) for _ in range(num_cores)]
         self.machine: Optional[Machine] = None
+        #: architectural value of the next load, supplied by a trace
+        #: replayer (:mod:`repro.trace.replay`) when no machine is
+        #: attached — the only machine state the simulation consumes.
+        self._replay_arch_value = 0
         self._now = 0.0
         # counters
         self._loads = 0
@@ -124,7 +128,11 @@ class CapriSystem(Observer):
         self._loads += 1
         timer = self._core(core)
         self._now = timer.cycle
-        arch_value = self.machine.memory.get(addr, 0) if self.machine else 0
+        arch_value = (
+            self.machine.memory.get(addr, 0)
+            if self.machine is not None
+            else self._replay_arch_value
+        )
         latency, level = self.mem.load(core, addr, arch_value)
         if level == "l1":
             self._l1_hits += 1

@@ -124,6 +124,7 @@ def _mutants(args, parser) -> int:
             scale=args.scale if args.scale is not None else 1.0,
             threshold=args.threshold,
             mutants=mutants,
+            replay=args.replay,
         )
     except (KeyError, ValueError) as err:
         parser.error(str(err.args[0] if err.args else err))
@@ -185,6 +186,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--mutant",
         help="comma-separated mutant subset for --mutants "
         f"(known: {', '.join(MUTANT_EXPECTATIONS)})",
+    )
+    parser.add_argument(
+        "--replay",
+        action="store_true",
+        help="drive the matrix from captured traces (repro.trace) — one "
+        "functional capture per workload serves all mutants "
+        "(--mutants mode only)",
     )
     parser.add_argument(
         "--stats-json",

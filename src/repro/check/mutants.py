@@ -29,7 +29,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.arch.crash import CrashPlan, run_built_until_crash
+from repro.arch.crash import (
+    CrashInjector,
+    CrashPlan,
+    PowerFailure,
+    run_built_until_crash,
+)
 from repro.arch.params import SimParams
 from repro.arch.persistence import ProtocolMutations
 from repro.arch.proxy import ProxyOverflowError
@@ -190,6 +195,7 @@ def checked_run(
     threshold: int,
     mutations: Optional[ProtocolMutations] = None,
     max_steps: int = _MAX_STEPS,
+    trace=None,
 ) -> Tuple[PersistencyChecker, Optional[str]]:
     """One full checked run; returns (checker, tolerated-error).
 
@@ -197,12 +203,31 @@ def checked_run(
     Pipeline deadlock (possible under mutation) and machine errors are
     tolerated and reported so :meth:`finalize` can still flag what the
     committed prefix lost.
+
+    With a captured :class:`~repro.trace.record.ExecTrace` as ``trace``,
+    the run replays the columns instead of re-interpreting — one
+    functional capture serves all twelve mutants (mutations live in the
+    simulated pipelines, never in the event stream).
     """
+    error: Optional[str] = None
+    if trace is not None:
+        from repro.trace.replay import build_replay_system
+
+        system = build_replay_system(
+            trace, params=params, threshold=threshold, mutations=mutations
+        )
+        checker = PersistencyChecker.attach(system)
+        try:
+            trace.deliver(TeeObserver(checker, system), system=system)
+            system.finish()
+        except ProxyOverflowError as exc:
+            error = f"{type(exc).__name__}: {exc}"
+        checker.finalize(system)
+        return checker, error
     machine, system = build_system(
         module, spawns, params=params, threshold=threshold, mutations=mutations
     )
     checker = PersistencyChecker.attach(system)
-    error: Optional[str] = None
     try:
         machine.run(TeeObserver(checker, system), max_steps=max_steps)
         system.finish()
@@ -219,21 +244,39 @@ def _recovery_probe(
     threshold: int,
     at_event: int,
     mutations: Optional[ProtocolMutations],
+    trace=None,
 ) -> Optional[PersistencyChecker]:
     """Crash at ``at_event``, recover (optionally mutated), check.
 
     Returns the checker (its report covers the online run up to the
     crash, the crash-state sweep for unmutated probes, and the
     recovered-state check), or ``None`` if the program finished before
-    the crash point or recovery itself refused the state.
+    the crash point or recovery itself refused the state.  ``trace``
+    replays the forward run from a capture (the forward protocol is
+    always faithful here — recovery mutants act only in :func:`recover`,
+    which still needs the module).
     """
-    machine, system = build_system(
-        module, spawns, params=params, threshold=threshold
-    )
-    checker = PersistencyChecker.attach(system)
-    state = run_built_until_crash(
-        machine, system, CrashPlan(at_event), extra_observer=checker
-    )
+    if trace is not None:
+        from repro.trace.replay import build_replay_system
+
+        system = build_replay_system(trace, params=params, threshold=threshold)
+        checker = PersistencyChecker.attach(system)
+        injector = CrashInjector(
+            system, CrashPlan(at_event), target=TeeObserver(checker, system)
+        )
+        state = None
+        try:
+            trace.deliver(injector, system=system)
+        except PowerFailure as pf:
+            state = pf.state
+    else:
+        machine, system = build_system(
+            module, spawns, params=params, threshold=threshold
+        )
+        checker = PersistencyChecker.attach(system)
+        state = run_built_until_crash(
+            machine, system, CrashPlan(at_event), extra_observer=checker
+        )
     if state is None:
         return None
     if mutations is None:
@@ -255,6 +298,7 @@ def run_mutant_matrix(
     threshold: int = 32,
     params: Optional[SimParams] = None,
     mutants: Optional[Sequence[str]] = None,
+    replay: bool = False,
 ) -> MutantMatrixResult:
     """Run every mutant against the matrix workloads.
 
@@ -262,6 +306,11 @@ def run_mutant_matrix(
     boundaries put boundary entries *behind* data in the back-end buffer
     often, which is the window ``reorder_phase2`` and
     ``merge_across_regions`` need to act.
+
+    ``replay=True`` captures each workload's event stream once
+    (:mod:`repro.trace`) and replays it for the baseline, all
+    persistence-path mutants, and every recovery probe's forward run —
+    mutations are simulation-side, so one trace serves the whole matrix.
     """
     start = time.perf_counter()
     params = params if params is not None else matrix_params()
@@ -271,12 +320,19 @@ def run_mutant_matrix(
             raise ValueError(f"unknown mutant {name!r}")
 
     built: Dict[str, tuple] = {}
+    traces: Dict[str, object] = {}
     golden_events: Dict[str, int] = {}
     baseline_reports: Dict[str, CheckReport] = {}
     for wl in workloads:
         module, spawns = _build_workload(wl, scale, threshold)
         built[wl] = (module, spawns)
-        checker, error = checked_run(module, spawns, params, threshold)
+        if replay:
+            from repro.trace.record import capture_trace
+
+            traces[wl] = capture_trace(module, spawns, max_steps=_MAX_STEPS)
+        checker, error = checked_run(
+            module, spawns, params, threshold, trace=traces.get(wl)
+        )
         if error is not None:
             raise RuntimeError(f"unmutated run of {wl!r} failed: {error}")
         report = checker.report
@@ -291,6 +347,7 @@ def run_mutant_matrix(
                 threshold,
                 int(report.events * frac),
                 mutations=None,
+                trace=traces.get(wl),
             )
             if probe is not None:
                 for v in probe.report.violations:
@@ -315,12 +372,18 @@ def run_mutant_matrix(
                         threshold,
                         int(golden_events[wl] * frac),
                         mutations=mutation,
+                        trace=traces.get(wl),
                     )
                     if probe is not None:
                         reports.append(probe.report)
             else:
                 checker, error = checked_run(
-                    module, spawns, params, threshold, mutations=mutation
+                    module,
+                    spawns,
+                    params,
+                    threshold,
+                    mutations=mutation,
+                    trace=traces.get(wl),
                 )
                 if error is not None:
                     outcome.error = error

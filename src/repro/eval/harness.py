@@ -60,6 +60,7 @@ class EvalHarness:
         scale: float = 1.0,
         quantum: int = 32,
         check: bool = False,
+        trace: bool = False,
     ) -> None:
         self.params = params or SimParams.scaled()
         self.scale = scale
@@ -69,6 +70,12 @@ class EvalHarness:
         #: :meth:`run`/:meth:`run_spec`.  Volatile baselines are never
         #: checked (nothing persistent to check).
         self.check = check
+        #: drive instrumented runs from captured columnar traces
+        #: (:mod:`repro.trace`): the functional event stream is recorded
+        #: once per (workload, config) and the architecture layers are
+        #: replayed per parameter point.  Fault campaigns started through
+        #: :meth:`fault_campaign` inherit the same replay mode.
+        self.trace = trace
         #: baseline fingerprint -> volatile exec cycles.
         self._baseline_cache: Dict[str, float] = {}
         #: the engine report from the most recent :meth:`sweep` call.
@@ -88,6 +95,8 @@ class EvalHarness:
             quantum=self.quantum,
             label=label,
         )
+        if self.trace and spec.effective_persistence:
+            spec = spec.with_(trace=True)
         if self.check and spec.effective_persistence:
             spec = spec.with_(check=True)
         return spec
@@ -259,5 +268,6 @@ class EvalHarness:
         cc.params = cc.params or self.params
         cc.quantum = self.quantum
         cc.check = cc.check or self.check
+        cc.replay = cc.replay or self.trace
         cc.depth = max(cc.depth, depth)
         return run_workload_campaign(name, cc, scale=self.scale)

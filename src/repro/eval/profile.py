@@ -13,15 +13,24 @@ be tuned against them:
 * region profile after Capri compilation (dynamic lengths, checkpoint
   fractions).
 
+It also measures simulator *throughput* per workload — functional
+instructions/second, full-system (interpreted) events/second, and
+trace-replay events/second with the capture overhead — which feeds the
+performance table in docs/PERFORMANCE.md.
+
 Command line::
 
     python -m repro.eval.profile [names...] [--scale S]
+    python -m repro.eval.profile genome ssca2 --json -          # stdout
+    python -m repro.eval.profile genome --json profile.json     # file
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
@@ -158,10 +167,72 @@ def profile_workload(
     )
 
 
+def measure_throughput(
+    name: str, scale: float = 0.5, threshold: int = 256, quantum: int = 32
+) -> Dict[str, float]:
+    """Simulator throughput on one workload, all four execution paths.
+
+    Returns a flat dict: functional interpreter instructions/second,
+    trace capture overhead (events/second plus slowdown vs the bare
+    functional run), interpreted full-system events/second, and
+    trace-replay events/second with the resulting per-run speedup.
+    Single measurement each — these feed a documentation table, not a
+    statistics engine; use benchmarks/ for calibrated numbers.
+    """
+    from repro.arch.system import run_workload
+    from repro.trace.record import capture_trace
+    from repro.trace.replay import replay_metrics
+
+    workload = get_workload(name)
+    module, spawns = workload.build(scale)
+    compiled = CapriCompiler(OptConfig.licm(threshold)).compile(module).module
+
+    start = time.perf_counter()
+    machine = Machine(compiled)
+    for fn, fargs in spawns:
+        machine.spawn(fn, fargs)
+    machine.run(Observer())
+    t_functional = time.perf_counter() - start
+
+    start = time.perf_counter()
+    trace = capture_trace(compiled, spawns, quantum=quantum)
+    t_capture = time.perf_counter() - start
+
+    start = time.perf_counter()
+    run_workload(compiled, spawns, threshold=threshold, quantum=quantum)
+    t_interpreted = time.perf_counter() - start
+
+    start = time.perf_counter()
+    replay_metrics(trace, threshold=threshold)
+    t_replay = time.perf_counter() - start
+
+    events = len(trace)
+    instrs = machine.total_retired
+    return {
+        "instructions": instrs,
+        "events": events,
+        "functional_instr_per_s": instrs / max(t_functional, 1e-9),
+        "capture_events_per_s": events / max(t_capture, 1e-9),
+        "capture_overhead_x": t_capture / max(t_functional, 1e-9),
+        "interpreted_events_per_s": events / max(t_interpreted, 1e-9),
+        "replay_events_per_s": events / max(t_replay, 1e-9),
+        "replay_speedup_x": t_interpreted / max(t_replay, 1e-9),
+    }
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(prog="repro.eval.profile")
     parser.add_argument("names", nargs="*", default=None)
     parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument(
+        "--json",
+        dest="json_out",
+        metavar="PATH",
+        default=None,
+        help="emit machine-readable characterisation + throughput "
+        "(instr/s, events/s, replay speedup) as JSON to PATH "
+        "('-' for stdout, suppressing the table)",
+    )
     args = parser.parse_args(argv)
     names = args.names or workload_names()
 
@@ -169,10 +240,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     cells: Dict[str, Dict[str, float]] = {}
     columns: List[str] = []
+    payload: Dict[str, Dict[str, object]] = {}
     for name in names:
         profile = profile_workload(name, scale=args.scale)
         cells[name] = profile.row()
         columns = list(cells[name].keys())
+        if args.json_out:
+            payload[name] = {
+                "suite": profile.suite,
+                "characterisation": profile.row(),
+                "throughput": measure_throughput(name, scale=args.scale),
+            }
+    if args.json_out:
+        doc = {"schema": 1, "scale": args.scale, "workloads": payload}
+        if args.json_out == "-":
+            json.dump(doc, sys.stdout, indent=2, sort_keys=True)
+            print()
+            return 0
+        with open(args.json_out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
     print(
         format_table(
             "Workload characterisation "
@@ -184,6 +270,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             fmt="{:.1f}",
         )
     )
+    if args.json_out:
+        print(f"profile written to {args.json_out}")
     return 0
 
 

@@ -108,6 +108,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "reported, never silent; default 96)",
     )
     parser.add_argument(
+        "--replay",
+        action="store_true",
+        help="capture the workload's event stream once (repro.trace) and "
+        "replay it per crash point instead of re-interpreting — identical "
+        "verdicts, much faster exhaustive sweeps",
+    )
+    parser.add_argument(
         "--stats-json",
         metavar="PATH",
         default=None,
@@ -142,6 +149,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         depth=depth,
         secondary_sample=args.secondary_sample or None,
         max_chains_per_point=args.max_chains,
+        replay=args.replay,
     )
     try:
         result = run_workload_campaign(

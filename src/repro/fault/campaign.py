@@ -101,6 +101,11 @@ class CampaignConfig:
     #: ProtocolMutations) threaded into every recovery the campaign
     #: runs — the multi-crash mode's sensitivity ("teeth") knob.
     mutations: Optional[object] = None
+    #: capture the workload's event stream once (:mod:`repro.trace`) and
+    #: replay it per crash point instead of re-interpreting the IR — the
+    #: fast path for exhaustive sweeps (identical verdicts; see
+    #: docs/INTERNALS.md).
+    replay: bool = False
 
     @classmethod
     def from_spec(cls, spec, **overrides) -> "CampaignConfig":
@@ -119,6 +124,7 @@ class CampaignConfig:
             max_steps=spec.max_steps,
             params=spec.params,
             check=spec.check,
+            replay=getattr(spec, "trace", False),
         )
         base.update(overrides)
         return cls(**base)
@@ -303,6 +309,7 @@ def capture_at(
     spawns: Sequence[Tuple[str, Sequence[int]]],
     event_index: int,
     config: CampaignConfig,
+    source=None,
 ):
     """Run under the Capri system to one crash point.
 
@@ -311,7 +318,16 @@ def capture_at(
     attached :class:`~repro.check.checker.PersistencyChecker` when
     ``config.check`` is on (already fed the pre-crash event stream and
     crash-state comparison), else ``None``.
+
+    ``source`` swaps the run-to-crash-point engine: anything with a
+    ``capture_at(event_index)`` method honouring the same contract —
+    in practice a :class:`repro.trace.replay.TraceCampaignSource`
+    replaying a captured trace instead of re-interpreting the IR.
+    Everything downstream (fault injection, recovery, resume, judging)
+    is state-based and identical either way.
     """
+    if source is not None:
+        return source.capture_at(event_index)
     if not config.check:
         state, machine = run_until_crash_with_machine(
             module,
@@ -436,10 +452,11 @@ def run_sweep_point(
     event_index: int,
     models: Sequence[FaultModel],
     config: CampaignConfig,
+    source=None,
 ) -> CrashOutcome:
     """Crash at one event index, inject, recover, resume, judge."""
     state, crashed_machine, checker = capture_at(
-        module, spawns, event_index, config
+        module, spawns, event_index, config, source=source
     )
     if checker is not None and not checker.report.ok:
         return CrashOutcome(
@@ -504,14 +521,28 @@ def run_campaign(
     config: Optional[CampaignConfig] = None,
     name: str = "<module>",
     golden: Optional[GoldenResult] = None,
+    source=None,
 ) -> CampaignResult:
     """Sweep crash points over an already-compiled module.
 
     ``golden`` lets callers supply a precomputed (e.g. cache-served)
-    golden run; by default it is recomputed here.
+    golden run; by default it is recomputed here.  With
+    ``config.replay`` on (and no explicit ``source``/``golden``), the
+    module's event stream is captured once into a
+    :class:`~repro.trace.record.ExecTrace` and every crash point is
+    served by replay — same verdicts, one interpreter pass total.
     """
     config = config or CampaignConfig()
     models = get_models(config.models)
+    if config.replay and source is None and golden is None:
+        from repro.trace.record import capture_trace
+        from repro.trace.replay import TraceCampaignSource, golden_from_trace
+
+        trace = capture_trace(
+            module, spawns, quantum=config.quantum, max_steps=config.max_steps
+        )
+        golden = golden_from_trace(trace)
+        source = TraceCampaignSource(trace, config)
     if golden is None:
         golden = golden_run(
             module, spawns, quantum=config.quantum, max_steps=config.max_steps
@@ -532,14 +563,16 @@ def run_campaign(
 
         for at in points:
             outcomes, truncated = run_multi_crash_point(
-                module, spawns, golden, at, models, config
+                module, spawns, golden, at, models, config, source=source
             )
             result.outcomes.extend(outcomes)
             result.truncated_chains += truncated
     else:
         for at in points:
             result.outcomes.append(
-                run_sweep_point(module, spawns, golden, at, models, config)
+                run_sweep_point(
+                    module, spawns, golden, at, models, config, source=source
+                )
             )
 
     if config.minimize and result.failures and not result.failures[0].chain:
@@ -559,7 +592,13 @@ def run_campaign(
                 mutations=config.mutations,
             )
             outcome = run_sweep_point(
-                module, spawns, golden, index, get_models(model_names), probe
+                module,
+                spawns,
+                golden,
+                index,
+                get_models(model_names),
+                probe,
+                source=source,
             )
             return outcome.failed
 
@@ -600,6 +639,11 @@ def run_workload_campaign(
     under the spec's fingerprint (``golden`` namespace) — warm fault
     campaigns skip straight to crash injection.  Pass ``cache=None`` to
     disable.
+
+    With ``config.replay`` the captured :class:`ExecTrace` takes the
+    golden run's place in the cache (``traces`` namespace, keyed by
+    :func:`repro.trace.record.trace_fingerprint`) and every crash point
+    replays it — the trace subsumes the golden result.
     """
     from repro.api import RunSpec
     from repro.compiler import CapriCompiler, OptConfig
@@ -626,16 +670,52 @@ def run_workload_campaign(
     )
 
     golden: Optional[GoldenResult] = None
+    source = None
     store = resolve_cache(cache)
-    fingerprint = spec.fingerprint()
-    if store is not None:
-        payload = store.get(fingerprint, kind="golden")
-        if payload is not None and "total_events" in payload:
-            golden = _golden_from_cache(payload)
-    if golden is None:
-        golden = golden_run(
-            compiled, spawns, quantum=config.quantum, max_steps=config.max_steps
+    if config.replay:
+        from repro.trace.codec import load_trace, store_trace
+        from repro.trace.record import capture_trace, trace_fingerprint
+        from repro.trace.replay import TraceCampaignSource, golden_from_trace
+
+        # Key the trace on what is actually captured here: the workload
+        # compiled with licm(threshold) at this scale/quantum.
+        trace_spec = RunSpec(
+            workload=workload_name,
+            scale=scale,
+            config=OptConfig.licm(config.threshold),
+            quantum=config.quantum,
+            max_steps=config.max_steps,
         )
+        tfp = trace_fingerprint(trace_spec)
+        trace = load_trace(store, tfp)
+        if trace is None:
+            trace = capture_trace(
+                compiled,
+                spawns,
+                quantum=config.quantum,
+                max_steps=config.max_steps,
+                meta={
+                    "workload": workload_name,
+                    "scale": float(scale),
+                    "quantum": config.quantum,
+                    "fingerprint": tfp,
+                },
+            )
+            store_trace(store, tfp, trace)
+        golden = golden_from_trace(trace)
+        source = TraceCampaignSource(trace, config)
+    else:
+        fingerprint = spec.fingerprint()
         if store is not None:
-            store.put(fingerprint, _golden_to_cache(golden), kind="golden")
-    return run_campaign(compiled, spawns, config, name=workload_name, golden=golden)
+            payload = store.get(fingerprint, kind="golden")
+            if payload is not None and "total_events" in payload:
+                golden = _golden_from_cache(payload)
+        if golden is None:
+            golden = golden_run(
+                compiled, spawns, quantum=config.quantum, max_steps=config.max_steps
+            )
+            if store is not None:
+                store.put(fingerprint, _golden_to_cache(golden), kind="golden")
+    return run_campaign(
+        compiled, spawns, config, name=workload_name, golden=golden, source=source
+    )

@@ -118,14 +118,21 @@ def run_multi_crash_point(
     event_index: int,
     models: Sequence[FaultModel],
     config: CampaignConfig,
+    source=None,
 ) -> Tuple[List[CrashOutcome], int]:
     """Sweep crash chains rooted at one primary crash point.
 
     Returns ``(outcomes, truncated_chains)``.  The first outcome is the
     plain depth-1 leaf (no secondary crash) — depth > 1 strictly extends
     the single-crash sweep, never replaces it.
+
+    Only the *primary* capture consults ``source`` (trace replay): every
+    secondary crash operates on :class:`CrashState` clones inside
+    recovery, which never touches the interpreter anyway.
     """
-    state, machine, checker = capture_at(module, spawns, event_index, config)
+    state, machine, checker = capture_at(
+        module, spawns, event_index, config, source=source
+    )
     if checker is not None and not checker.report.ok:
         return (
             [

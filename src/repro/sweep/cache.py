@@ -102,6 +102,16 @@ class ResultCache:
             pass
         self.quarantined += 1
 
+    def quarantine(self, fingerprint: str, kind: str = "runs") -> None:
+        """Quarantine an entry whose *payload* failed validation.
+
+        :meth:`get` quarantines entries that are not readable JSON
+        objects; callers with stricter formats (the trace codec's
+        checksum, for one) use this to apply the same torn-entry
+        handling to entries that parsed but are internally corrupt.
+        """
+        self._quarantine(self.path_for(fingerprint, kind))
+
     # -- maintenance -----------------------------------------------------------
 
     def entry_count(self, kind: str = "runs") -> int:

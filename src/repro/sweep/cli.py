@@ -77,6 +77,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="exit non-zero if the cache hit rate is below this fraction",
     )
     parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="replay captured columnar traces (repro.trace) instead of "
+        "re-interpreting each spec — the functional stream is recorded "
+        "once per (workload, config) and reused across parameter points",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-spec progress lines"
     )
     args = parser.parse_args(argv)
@@ -107,7 +114,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         progress = lambda status: print(f"  {status.line()}", file=sys.stderr)
 
     harness = EvalHarness(
-        params=SimParams.scaled(), scale=args.scale, quantum=args.quantum
+        params=SimParams.scaled(),
+        scale=args.scale,
+        quantum=args.quantum,
+        trace=args.trace,
     )
     try:
         table = harness.sweep(

@@ -1,0 +1,227 @@
+"""Command-line trace tooling: ``python -m repro trace <mode>``.
+
+Three modes::
+
+    # Capture a workload's columnar trace into the result cache:
+    python -m repro trace capture --workload genome --scale 0.3
+
+    # Prove capture/replay equivalence: interpreted vs replayed
+    # SystemMetrics, field by field (exit 1 on any divergence):
+    python -m repro trace replay --workload genome --scale 0.3 --check
+
+    # Campaign bench: one fault campaign interpreted and once replayed,
+    # verdicts compared point by point, speedup reported (exit 1 on any
+    # verdict divergence):
+    python -m repro trace bench --workload genome --scale 0.2
+
+``replay`` and ``bench`` are the CI smoke commands — they re-verify the
+equivalence this subsystem is built on rather than trusting it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import time
+from typing import List, Optional
+
+from repro.api import RunSpec
+from repro.compiler import OptConfig
+
+
+def _spec(args) -> RunSpec:
+    return RunSpec(
+        workload=args.workload,
+        scale=args.scale,
+        config=OptConfig.licm(args.threshold),
+        quantum=args.quantum,
+    )
+
+
+def _capture(args, parser) -> int:
+    from repro.sweep.cache import resolve_cache
+    from repro.trace.codec import load_trace, store_trace
+    from repro.trace.record import capture_spec_trace, trace_fingerprint
+
+    spec = _spec(args)
+    store = resolve_cache(None if args.no_cache else "default")
+    fingerprint = trace_fingerprint(spec)
+    trace = load_trace(store, fingerprint)
+    cached = trace is not None
+    start = time.perf_counter()
+    if trace is None:
+        try:
+            trace = capture_spec_trace(spec)
+        except KeyError as err:
+            parser.error(str(err.args[0] if err.args else err))
+        path = store_trace(store, fingerprint, trace)
+    else:
+        path = store.path_for(fingerprint, kind="traces")
+    wall = time.perf_counter() - start
+    print(
+        f"trace {args.workload} scale={args.scale} t{args.threshold}: "
+        f"{len(trace)} events, {trace.total_retired} retired, "
+        f"{trace.num_cores} core(s)"
+        + (" [cached]" if cached else f" captured in {wall:.2f}s")
+    )
+    print(f"  fingerprint {fingerprint}")
+    if path is not None:
+        print(f"  stored at {path}")
+    return 0
+
+
+def _replay(args, parser) -> int:
+    from repro.arch.system import run_workload
+    from repro.compiler import CapriCompiler
+    from repro.trace.record import capture_spec_trace
+    from repro.trace.replay import replay_metrics
+    from repro.workloads import get_workload
+
+    spec = _spec(args)
+    try:
+        workload = get_workload(spec.workload)
+    except KeyError as err:
+        parser.error(str(err.args[0] if err.args else err))
+    module, spawns = workload.build(spec.scale)
+    compiled = CapriCompiler(spec.effective_config).compile(module).module
+
+    t0 = time.perf_counter()
+    interpreted, _machine = run_workload(
+        compiled,
+        spawns,
+        threshold=spec.effective_threshold,
+        quantum=spec.quantum,
+        check=args.check,
+    )
+    t1 = time.perf_counter()
+    trace = capture_spec_trace(spec)
+    t2 = time.perf_counter()
+    replayed = replay_metrics(
+        trace,
+        threshold=spec.effective_threshold,
+        check=args.check,
+    )
+    t3 = time.perf_counter()
+
+    diffs = [
+        (f.name, getattr(interpreted, f.name), getattr(replayed, f.name))
+        for f in dataclasses.fields(interpreted)
+        if getattr(interpreted, f.name) != getattr(replayed, f.name)
+    ]
+    events = len(trace)
+    print(
+        f"{args.workload}: {events} events — interpreted {t1 - t0:.2f}s, "
+        f"capture {t2 - t1:.2f}s, replay {t3 - t2:.2f}s"
+        + ("  (checked)" if args.check else "")
+    )
+    if diffs:
+        print(f"METRICS DIVERGE in {len(diffs)} field(s):")
+        for name, a, b in diffs:
+            print(f"  {name}: interpreted={a!r} replayed={b!r}")
+        return 1
+    print("SystemMetrics bit-identical across all fields")
+    return 0
+
+
+def _bench(args, parser) -> int:
+    from repro.fault.campaign import CampaignConfig, run_workload_campaign
+
+    def campaign(replay: bool):
+        config = CampaignConfig(
+            threshold=args.threshold,
+            quantum=args.quantum,
+            sample=args.sample,
+            check=args.check,
+            minimize=False,
+            replay=replay,
+        )
+        start = time.perf_counter()
+        try:
+            result = run_workload_campaign(
+                args.workload, config, scale=args.scale, cache=None
+            )
+        except KeyError as err:
+            parser.error(str(err.args[0] if err.args else err))
+        return result, time.perf_counter() - start
+
+    interpreted, t_int = campaign(replay=False)
+    replayed, t_rep = campaign(replay=True)
+
+    def verdicts(result):
+        return [(o.event_index, o.status, tuple(o.chain)) for o in result.outcomes]
+
+    vi, vr = verdicts(interpreted), verdicts(replayed)
+    speedup = t_int / t_rep if t_rep > 0 else float("inf")
+    print(
+        f"{args.workload}: {len(vi)} crash points of "
+        f"{interpreted.total_events} events — interpreted {t_int:.2f}s, "
+        f"replayed {t_rep:.2f}s, speedup {speedup:.2f}x"
+    )
+    if vi != vr:
+        for a, b in zip(vi, vr):
+            if a != b:
+                print(f"VERDICTS DIVERGE: first at {a} vs {b}")
+                break
+        else:
+            print(f"VERDICTS DIVERGE: point counts {len(vi)} vs {len(vr)}")
+        return 1
+    print(f"campaign verdicts identical ({interpreted.counts()})")
+    if args.min_speedup and speedup < args.min_speedup:
+        print(f"SPEEDUP {speedup:.2f}x below required {args.min_speedup}x")
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Columnar trace capture, replay equivalence, and "
+        "campaign replay bench",
+    )
+    parser.add_argument("mode", choices=("capture", "replay", "bench"))
+    parser.add_argument(
+        "--workload",
+        required=True,
+        help="registry workload name (see repro.workloads)",
+    )
+    parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument("--threshold", type=int, default=32)
+    parser.add_argument("--quantum", type=int, default=32)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="also run the online persistency checker on both sides",
+    )
+    parser.add_argument(
+        "--sample",
+        type=int,
+        default=None,
+        help="bench: crash-point sample size (default: exhaustive)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="bench: fail unless the replay campaign is at least this "
+        "many times faster",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="capture: do not read or write the result cache",
+    )
+    args = parser.parse_args(argv)
+    if args.mode == "capture":
+        return _capture(args, parser)
+    if args.mode == "replay":
+        return _replay(args, parser)
+    return _bench(args, parser)
+
+
+if __name__ == "__main__":
+    print(
+        "note: `python -m repro trace ...` is the consolidated entry point",
+        file=sys.stderr,
+    )
+    sys.exit(main())

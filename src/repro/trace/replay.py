@@ -1,0 +1,377 @@
+"""Batched trace replay: the arch/check layers without the interpreter.
+
+A captured :class:`~repro.trace.record.ExecTrace` fixes the entire
+observer event stream, so the timing/persistence simulation
+(:class:`~repro.arch.system.CapriSystem`), the online persistency checker,
+and the crash injector can all be driven straight from the columns —
+no IR re-interpretation, no functional machine.  Three consumers:
+
+:class:`TraceReplayer`
+    One crash-free replay producing :class:`SystemMetrics` bit-identical
+    to the interpreted path (the equivalence the test suite pins).
+
+:func:`replay_until_crash`
+    The replay twin of :func:`repro.arch.crash.run_until_crash` — one
+    crash point, one fresh system.
+
+:class:`TraceCursor` / :class:`TraceCampaignSource`
+    The fault-campaign workhorse.  Campaign crash points ascend
+    (:func:`~repro.fault.campaign.select_crash_points` sorts), so *one*
+    replay system advanced monotonically serves every point: total arch
+    work across an exhaustive sweep is O(events) instead of
+    O(events²/2) — this, not per-event dispatch, is where the ≥5×
+    campaign speedup lives (docs/PERFORMANCE.md).  Rewinds (the failure
+    minimizer bisects downward) rebuild from event 0.
+
+Verdict identity with the interpreted path rests on three facts (argued
+in docs/INTERNALS.md): the functional machine is observer-independent,
+so the recorded stream *is* the stream any interpreted crash run would
+deliver; :func:`~repro.arch.crash.capture_crash_state` deep-copies and
+the checker's whole-state checks are read-only, so capturing at point k
+does not perturb the cursor's march to k+1; and the checker's streaming
+violations are monotone in the prefix, so the per-point report is the
+stream-prefix violations plus this point's own whole-state findings —
+exactly what a fresh checker at that point would hold.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import List, Optional, Tuple
+
+from repro.arch.crash import (
+    CrashInjector,
+    CrashPlan,
+    CrashState,
+    PowerFailure,
+    capture_crash_state,
+)
+from repro.arch.params import SimParams
+from repro.arch.system import CapriSystem, SystemMetrics
+from repro.check.violations import CheckReport, Violation
+from repro.fault.oracle import GoldenResult
+from repro.isa.trace import Observer, TeeObserver
+from repro.trace.record import ExecTrace
+
+
+def build_replay_system(
+    trace: ExecTrace,
+    params: Optional[SimParams] = None,
+    threshold: int = 256,
+    persistence: bool = True,
+    mutations=None,
+) -> CapriSystem:
+    """A machineless :class:`CapriSystem` ready to consume ``trace``.
+
+    Mirrors :func:`repro.arch.system.build_system` minus the machine:
+    same core count, same durable-image seeding (the trace carries the
+    module's initial data).  Loads read their architectural values from
+    the trace via :meth:`ExecTrace.deliver`'s ``system`` staging.
+    """
+    params = params or SimParams.scaled()
+    system = CapriSystem(
+        params,
+        num_cores=trace.num_cores,
+        threshold=threshold,
+        persistence=persistence,
+        mutations=mutations,
+    )
+    system.nvm.image.update(trace.initial_data)
+    return system
+
+
+def golden_from_trace(trace: ExecTrace) -> GoldenResult:
+    """The differential oracle's golden result, straight off the trace.
+
+    Exactly what :func:`repro.fault.oracle.golden_run` would recompute:
+    the trace records the final data image with the same checkpoint-log
+    masking, the full I/O log, and one event per observer callback.
+    """
+    return GoldenResult(
+        data=dict(trace.final_data),
+        io_log=list(trace.io_log),
+        total_events=len(trace),
+    )
+
+
+class TraceReplayer:
+    """One crash-free replay of a captured trace.
+
+    Construction wires the system (and, with ``check=True``, the
+    persistency checker teed in front of it, exactly as
+    :func:`repro.arch.system.run_workload` does); :meth:`run` delivers
+    the columns and finalises.
+    """
+
+    def __init__(
+        self,
+        trace: ExecTrace,
+        params: Optional[SimParams] = None,
+        threshold: int = 256,
+        persistence: bool = True,
+        check: bool = False,
+        mutations=None,
+    ) -> None:
+        self.trace = trace
+        self.system = build_replay_system(
+            trace,
+            params=params,
+            threshold=threshold,
+            persistence=persistence,
+            mutations=mutations,
+        )
+        self.checker = None
+        self.target: Observer = self.system
+        if check:
+            from repro.check.checker import PersistencyChecker
+
+            self.checker = PersistencyChecker.attach(self.system)
+            self.target = TeeObserver(self.checker, self.system)
+        self.metrics: Optional[SystemMetrics] = None
+
+    def run(self) -> SystemMetrics:
+        self.trace.deliver(self.target, system=self.system)
+        self.metrics = self.system.finish()
+        if self.checker is not None:
+            self.checker.finalize(self.system)
+        return self.metrics
+
+
+def replay_metrics(
+    trace: ExecTrace,
+    params: Optional[SimParams] = None,
+    threshold: int = 256,
+    persistence: bool = True,
+    check: bool = False,
+) -> SystemMetrics:
+    """Crash-free replay in one call; with ``check=True`` a model
+    violation raises :class:`~repro.check.PersistencyViolationError`,
+    matching ``run_workload(..., check=True)``."""
+    replayer = TraceReplayer(
+        trace,
+        params=params,
+        threshold=threshold,
+        persistence=persistence,
+        check=check,
+    )
+    metrics = replayer.run()
+    if replayer.checker is not None:
+        replayer.checker.report.raise_if_violated()
+    return metrics
+
+
+def replay_until_crash(
+    trace: ExecTrace,
+    plan: CrashPlan,
+    params: Optional[SimParams] = None,
+    threshold: int = 256,
+    extra_observer: Optional[Observer] = None,
+) -> Optional[CrashState]:
+    """Replay twin of :func:`repro.arch.crash.run_until_crash`.
+
+    Fresh system, one crash point; ``extra_observer`` (the checker) is
+    teed before the system but behind the injector.  Returns ``None``
+    when the trace ends before the crash point.
+    """
+    system = build_replay_system(trace, params=params, threshold=threshold)
+    target: Observer = system
+    if extra_observer is not None:
+        target = TeeObserver(extra_observer, system)
+    injector = CrashInjector(system, plan, target=target)
+    try:
+        trace.deliver(injector, system=system)
+    except PowerFailure as pf:
+        return pf.state
+    return None
+
+
+class _ReplayedMachine:
+    """The slice of :class:`~repro.isa.machine.Machine` a campaign reads
+    after the run to the crash point: the pre-crash I/O log."""
+
+    __slots__ = ("io_log",)
+
+    def __init__(self, io_log: List[tuple]) -> None:
+        self.io_log = io_log
+
+
+class _PointChecker:
+    """Per-crash-point view of a cursor's long-lived checker.
+
+    Presents the interpreted ``capture_at`` contract — a ``.report``
+    (real :class:`CheckReport`: ``ok``/``summary()``/sliceable
+    ``violations``) and a ``check_recovered`` hook — while the violations
+    actually accumulate on the cursor's single checker.  The report holds
+    the stream-prefix violations (what a fresh checker would have flagged
+    on the way to this point) plus this point's own whole-state findings;
+    later whole-state checks route their *deltas* here.
+    """
+
+    def __init__(
+        self,
+        cursor: "TraceCursor",
+        point_violations: List[Violation],
+        point_suppressed: int,
+    ) -> None:
+        self._cursor = cursor
+        self.report = CheckReport()
+        self.report.violations.extend(cursor._stream_violations)
+        self.report.violations.extend(point_violations)
+        self.report.suppressed = cursor._stream_suppressed + point_suppressed
+        self.report.events = cursor.pos
+        if cursor.checker is not None:
+            self.report.checks = cursor.checker.model.checks
+
+    def check_recovered(self, recovered) -> None:
+        self._cursor.checker.check_recovered(recovered)
+        fresh, suppressed = self._cursor._drain_new()
+        self.report.violations.extend(fresh)
+        self.report.suppressed += suppressed
+        self.report.checks = self._cursor.checker.model.checks
+
+
+class TraceCursor:
+    """Single-pass replay over ascending crash points.
+
+    ``capture_at(k)`` advances the live system from its current position
+    to event ``k`` and snapshots the persistent domain — so an exhaustive
+    sweep costs one system-lifetime of arch events total, not one per
+    point.  Requests behind the cursor (or after a terminal
+    :meth:`CapriSystem.finish`, which drains destructively) rebuild from
+    event 0; :attr:`rebuilds` counts them.
+    """
+
+    def __init__(
+        self,
+        trace: ExecTrace,
+        params: Optional[SimParams] = None,
+        threshold: int = 256,
+        check: bool = False,
+    ) -> None:
+        self.trace = trace
+        self.params = params
+        self.threshold = threshold
+        self.check = check
+        self.rebuilds = -1  # the constructor's own _reset is not a rebuild
+        self._io_positions = trace.io_positions()
+        self._reset()
+
+    # -- internals -----------------------------------------------------------
+
+    def _reset(self) -> None:
+        self.system = build_replay_system(
+            self.trace, params=self.params, threshold=self.threshold
+        )
+        self.checker = None
+        self.target: Observer = self.system
+        if self.check:
+            from repro.check.checker import PersistencyChecker
+
+            self.checker = PersistencyChecker.attach(self.system)
+            self.target = TeeObserver(self.checker, self.system)
+        self.pos = 0
+        self.rebuilds += 1
+        self._finished = False
+        #: violations flagged while *streaming* events — monotone in the
+        #: prefix, hence shared by every later point's report.
+        self._stream_violations: List[Violation] = []
+        self._stream_suppressed = 0
+        self._seen_violations = 0
+        self._seen_suppressed = 0
+
+    def _drain_new(self) -> Tuple[List[Violation], int]:
+        """Violations (and suppressed count) the checker added since the
+        last drain."""
+        if self.checker is None:
+            return [], 0
+        report = self.checker.report
+        fresh = list(report.violations[self._seen_violations:])
+        self._seen_violations = len(report.violations)
+        suppressed = report.suppressed - self._seen_suppressed
+        self._seen_suppressed = report.suppressed
+        return fresh, suppressed
+
+    def _advance_to(self, k: int) -> None:
+        if k < self.pos or self._finished:
+            self._reset()
+        if k > self.pos:
+            self.trace.deliver(
+                self.target, start=self.pos, stop=k, system=self.system
+            )
+            self.pos = k
+            fresh, suppressed = self._drain_new()
+            self._stream_violations.extend(fresh)
+            self._stream_suppressed += suppressed
+
+    def _pre_crash_io(self, k: int) -> List[tuple]:
+        """I/O events issued at indices ≤ k — the machine appends to its
+        I/O log *before* delivering ``on_io``, so an I/O event at the
+        crash index itself has already escaped the persistence domain."""
+        count = bisect_right(self._io_positions, k)
+        return [tuple(ev) for ev in self.trace.io_log[:count]]
+
+    # -- the campaign-facing contract ----------------------------------------
+
+    def capture_at(self, event_index: int):
+        """Replay twin of :func:`repro.fault.campaign.capture_at`.
+
+        Returns ``(state, machine, checker)`` with the same meaning: the
+        captured persistent domain (``None`` if the trace ends first), an
+        object carrying the pre-crash ``io_log``, and — when checking —
+        a per-point checker façade already fed the crash-state
+        comparison.
+        """
+        total = len(self.trace)
+        point_violations: List[Violation] = []
+        point_suppressed = 0
+        if event_index >= total:
+            # The program finishes before the crash point: run out the
+            # trace and finalise, exactly like the interpreted path.
+            self._advance_to(total)
+            if not self._finished:
+                self.system.finish()
+                self._finished = True
+                if self.checker is not None:
+                    self.checker.finalize(self.system)
+                    fresh, suppressed = self._drain_new()
+                    self._stream_violations.extend(fresh)
+                    self._stream_suppressed += suppressed
+            state = None
+        else:
+            self._advance_to(event_index)
+            state = capture_crash_state(self.system)
+            if self.checker is not None:
+                # Deep-copied state + read-only whole-state check: the
+                # live cursor is unperturbed and keeps marching.
+                self.checker.check_crash_state(state)
+                point_violations, point_suppressed = self._drain_new()
+        machine = _ReplayedMachine(self._pre_crash_io(event_index))
+        facade = (
+            _PointChecker(self, point_violations, point_suppressed)
+            if self.checker is not None
+            else None
+        )
+        return state, machine, facade
+
+
+class TraceCampaignSource:
+    """What :func:`repro.fault.campaign.run_campaign` accepts as
+    ``source``: anything with the ``capture_at(event_index)`` contract.
+    This one binds a captured trace and a campaign config to a
+    :class:`TraceCursor`."""
+
+    def __init__(self, trace: ExecTrace, config) -> None:
+        self.trace = trace
+        self._cursor = TraceCursor(
+            trace,
+            params=config.params,
+            threshold=config.threshold,
+            check=config.check,
+        )
+
+    @property
+    def rebuilds(self) -> int:
+        return self._cursor.rebuilds
+
+    def capture_at(self, event_index: int):
+        return self._cursor.capture_at(event_index)

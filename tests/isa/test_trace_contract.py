@@ -103,6 +103,53 @@ def test_tick_counter_matches_crash_index_universe(compiled):
     assert tick.events == len(collect.events)
 
 
+def test_columnar_trace_is_verbatim_transcript(compiled):
+    """Rule 6 (repro.trace): the columnar ``ExecTrace`` is a lossless
+    transcript of the observer stream — ``trace.event(i)`` must equal
+    the ``CollectingObserver`` tuple ``i``, element for element, for
+    every event of the run."""
+    from repro.trace.record import capture_trace
+
+    module, spawns = compiled
+    obs = CollectingObserver()
+    _run(module, spawns, obs)
+    trace = capture_trace(module, spawns, quantum=32)
+    assert len(trace) == len(obs.events)
+    for i, expected in enumerate(obs.events):
+        got = trace.event(i)
+        assert got == expected, (
+            f"event {i}: trace {got!r} != observer {expected!r}"
+        )
+    # Every event kind the workload exercises must appear in the trace
+    # under the same tag; a silently dropped callback would shrink the
+    # crash-index universe.
+    assert {e[0] for e in obs.events} == {
+        trace.event(i)[0] for i in range(len(trace))
+    }
+
+
+def test_columnar_deliver_replays_the_stream(compiled):
+    """Rule 6, replay side: ``trace.deliver(observer)`` re-drives an
+    observer with the exact stream the machine produced, and slicing by
+    ``start``/``stop`` concatenates back to the whole."""
+    from repro.trace.record import capture_trace
+
+    module, spawns = compiled
+    obs = CollectingObserver()
+    _run(module, spawns, obs)
+    trace = capture_trace(module, spawns, quantum=32)
+
+    replayed = CollectingObserver()
+    trace.deliver(replayed)
+    assert replayed.events == obs.events
+
+    sliced = CollectingObserver()
+    mid = len(trace) // 3
+    trace.deliver(sliced, 0, mid)
+    trace.deliver(sliced, mid, len(trace))
+    assert sliced.events == obs.events
+
+
 def test_boundary_before_drain(compiled):
     """Rule 4: no region's redo data drains before its boundary event.
 

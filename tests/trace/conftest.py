@@ -1,0 +1,21 @@
+"""Shared fixtures for the trace subsystem tests.
+
+One captured workload per module scope — capture is the expensive part,
+and every test here treats the trace as immutable.
+"""
+
+import pytest
+
+from repro.compiler import CapriCompiler, OptConfig
+from repro.trace.record import capture_trace
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="session")
+def captured():
+    """(compiled module, spawns, trace) for a small genome run at the
+    matrix threshold."""
+    module, spawns = get_workload("genome").build(0.1)
+    compiled = CapriCompiler(OptConfig.licm(32)).compile(module).module
+    trace = capture_trace(compiled, spawns, quantum=32)
+    return compiled, spawns, trace

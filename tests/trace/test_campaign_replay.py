@@ -1,0 +1,146 @@
+"""Campaign integration: replay mode must change wall-clock, never
+verdicts — single-crash sweeps, fault models, checker verdicts, nested
+crashes, and the mutant matrix all compare outcome-for-outcome."""
+
+import pytest
+
+from repro.fault.campaign import CampaignConfig, run_workload_campaign
+
+
+def _verdicts(result):
+    return [
+        (o.event_index, o.status, o.detail, o.injected, o.findings,
+         tuple(o.chain), o.quarantined_entries, tuple(o.fenced_cores),
+         o.tainted_addrs)
+        for o in result.outcomes
+    ]
+
+
+def _run_both(config_kwargs, workload="genome", scale=0.08):
+    interpreted = run_workload_campaign(
+        workload,
+        CampaignConfig(replay=False, **config_kwargs),
+        scale=scale,
+        cache=None,
+    )
+    replayed = run_workload_campaign(
+        workload,
+        CampaignConfig(replay=True, **config_kwargs),
+        scale=scale,
+        cache=None,
+    )
+    assert interpreted.total_events == replayed.total_events
+    assert _verdicts(interpreted) == _verdicts(replayed)
+    assert interpreted.counts() == replayed.counts()
+    assert interpreted.ok == replayed.ok
+    return interpreted, replayed
+
+
+def test_clean_sweep_verdicts_identical():
+    _run_both(dict(threshold=32, sample=24, minimize=False))
+
+
+def test_checked_sweep_verdicts_identical():
+    _run_both(dict(threshold=32, sample=16, check=True, minimize=False))
+
+
+def test_fault_model_verdicts_and_minimizer_identical():
+    interpreted, replayed = _run_both(
+        dict(
+            threshold=32,
+            sample=12,
+            models=("clean", "torn-boundary"),
+            strict=False,
+            minimize=True,
+        )
+    )
+    a, b = interpreted.minimized, replayed.minimized
+    assert (a is None) == (b is None)
+    if a is not None:
+        assert (a.event_index, a.models) == (b.event_index, b.models)
+
+
+def test_multi_crash_verdicts_identical():
+    _run_both(
+        dict(
+            threshold=32,
+            sample=6,
+            depth=2,
+            secondary_sample=4,
+            minimize=False,
+            check=True,
+        )
+    )
+
+
+def test_exhaustive_sweep_single_pass():
+    """Exhaustive ascending sweeps are the point of the cursor: the
+    whole campaign must complete on one replay system (zero rebuilds)."""
+    from repro.compiler import CapriCompiler, OptConfig
+    from repro.fault.campaign import run_campaign
+    from repro.trace.record import capture_trace
+    from repro.trace.replay import TraceCampaignSource, golden_from_trace
+    from repro.workloads import get_workload
+
+    config = CampaignConfig(threshold=32, minimize=False)
+    module, spawns = get_workload("genome").build(0.05)
+    module = (
+        CapriCompiler(OptConfig.licm(config.threshold)).compile(module).module
+    )
+    trace = capture_trace(
+        module, spawns, quantum=config.quantum, max_steps=config.max_steps
+    )
+    source = TraceCampaignSource(trace, config)
+    result = run_campaign(
+        module,
+        spawns,
+        config,
+        name="genome",
+        golden=golden_from_trace(trace),
+        source=source,
+    )
+    assert result.ok
+    assert len(result.outcomes) == len(trace)
+    assert source.rebuilds == 0
+
+
+def test_harness_fault_campaign_inherits_replay():
+    from repro.eval.harness import EvalHarness
+
+    h_interp = EvalHarness(scale=0.05)
+    h_replay = EvalHarness(scale=0.05, trace=True)
+    config = dict(threshold=32, sample=10, minimize=False)
+    a = h_interp.fault_campaign("genome", CampaignConfig(**config))
+    b = h_replay.fault_campaign("genome", CampaignConfig(**config))
+    assert _verdicts(a) == _verdicts(b)
+
+
+def test_mutant_matrix_identical_under_replay():
+    """One functional capture per workload must reproduce the exact
+    detection matrix: same detected set, same taxonomy classes, same
+    clean baselines."""
+    from repro.check.mutants import run_mutant_matrix
+
+    mutants = ["skip_undo_log", "recovery_skip_redo"]
+    interpreted = run_mutant_matrix(
+        workloads=["genome"], scale=0.3, threshold=32, mutants=mutants
+    )
+    replayed = run_mutant_matrix(
+        workloads=["genome"],
+        scale=0.3,
+        threshold=32,
+        mutants=mutants,
+        replay=True,
+    )
+    assert interpreted.ok and replayed.ok
+
+    def rows(result):
+        return [
+            (o.mutant, o.workload, o.detected, tuple(sorted(o.kinds)))
+            for o in result.outcomes
+        ]
+
+    assert rows(interpreted) == rows(replayed)
+    for name, report in interpreted.baseline_reports.items():
+        other = replayed.baseline_reports[name]
+        assert report.ok == other.ok

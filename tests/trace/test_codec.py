@@ -1,0 +1,151 @@
+"""Codec properties: bit-identical round trips, version skew as a clean
+miss, corruption quarantined through the ResultCache contract."""
+
+import json
+
+import pytest
+
+from repro.sweep.cache import ResultCache
+from repro.trace.codec import (
+    TRACE_CACHE_KIND,
+    TRACE_CODEC_VERSION,
+    TraceDecodeError,
+    TraceVersionError,
+    decode_trace,
+    encode_trace,
+    load_trace,
+    store_trace,
+)
+
+
+def test_round_trip_is_bit_identical(captured):
+    _, _, trace = captured
+    back = decode_trace(encode_trace(trace))
+    assert len(back) == len(trace)
+    for col in ("kinds", "cores", "a", "b", "c"):
+        assert getattr(back, col) == getattr(trace, col), col
+        assert getattr(back, col).typecode == getattr(trace, col).typecode
+    assert back.retire_names == trace.retire_names
+    assert back.continuations == trace.continuations
+    assert back.num_cores == trace.num_cores
+    assert back.initial_data == trace.initial_data
+    assert back.final_data == trace.final_data
+    assert back.io_log == trace.io_log
+    assert back.total_retired == trace.total_retired
+    for i in range(len(trace)):
+        assert back.event(i) == trace.event(i)
+
+
+def test_payload_is_json_transportable(captured):
+    """The cache stores JSON objects; the payload must survive a
+    dump/load cycle unchanged (that's how it reaches disk)."""
+    _, _, trace = captured
+    payload = encode_trace(trace)
+    back = decode_trace(json.loads(json.dumps(payload)))
+    assert back.kinds == trace.kinds
+    assert back.io_log == trace.io_log
+
+
+def test_version_skew_is_rejected_as_version_error(captured):
+    _, _, trace = captured
+    payload = encode_trace(trace)
+    payload["version"] = TRACE_CODEC_VERSION + 1
+    with pytest.raises(TraceVersionError):
+        decode_trace(payload)
+    payload["version"] = None
+    with pytest.raises(TraceVersionError):
+        decode_trace(payload)
+
+
+def test_checksum_catches_column_corruption(captured):
+    _, _, trace = captured
+    payload = encode_trace(trace)
+    tampered = json.loads(json.dumps(payload))
+    import base64
+
+    raw = bytearray(base64.b64decode(tampered["columns"]["b"]))
+    raw[len(raw) // 2] ^= 0xFF
+    tampered["columns"]["b"] = base64.b64encode(bytes(raw)).decode("ascii")
+    with pytest.raises(TraceDecodeError):
+        decode_trace(tampered)
+
+
+def test_checksum_catches_side_table_corruption(captured):
+    _, _, trace = captured
+    payload = encode_trace(trace)
+    tampered = json.loads(json.dumps(payload))
+    tampered["total_retired"] = trace.total_retired + 1
+    with pytest.raises(TraceDecodeError):
+        decode_trace(tampered)
+
+
+def test_truncated_column_is_decode_error(captured):
+    _, _, trace = captured
+    payload = encode_trace(trace)
+    import base64
+
+    raw = base64.b64decode(payload["columns"]["kinds"])
+    payload["columns"]["kinds"] = base64.b64encode(raw[:-1]).decode("ascii")
+    with pytest.raises(TraceDecodeError):
+        decode_trace(payload)
+
+
+def test_malformed_payload_is_decode_error(captured):
+    _, _, trace = captured
+    payload = encode_trace(trace)
+    del payload["columns"]
+    with pytest.raises(TraceDecodeError):
+        decode_trace(payload)
+
+
+def test_store_and_load_through_result_cache(tmp_path, captured):
+    _, _, trace = captured
+    store = ResultCache(tmp_path)
+    path = store_trace(store, "f" * 16, trace)
+    assert path is not None and path.exists()
+    back = load_trace(store, "f" * 16)
+    assert back is not None
+    assert back.kinds == trace.kinds
+    assert back.final_data == trace.final_data
+    assert load_trace(store, "0" * 16) is None  # plain miss
+
+
+def test_version_skew_in_cache_is_clean_miss(tmp_path, captured):
+    """A trace written by another codec version must read as a miss —
+    recapture-and-overwrite, not quarantine, not a crash."""
+    _, _, trace = captured
+    store = ResultCache(tmp_path)
+    payload = encode_trace(trace)
+    payload["version"] = TRACE_CODEC_VERSION + 1
+    store.put("a" * 16, payload, kind=TRACE_CACHE_KIND)
+    assert load_trace(store, "a" * 16) is None
+    assert store.quarantined == 0
+    # The slot stays writable: a recapture overwrites in place.
+    store_trace(store, "a" * 16, trace)
+    assert load_trace(store, "a" * 16) is not None
+
+
+def test_corrupt_cache_entry_is_quarantined(tmp_path, captured):
+    """Checksum failure mirrors ResultCache's torn-entry handling: the
+    entry is renamed aside, counted, and reads as a miss."""
+    _, _, trace = captured
+    store = ResultCache(tmp_path)
+    fp = "b" * 16
+    path = store_trace(store, fp, trace)
+    entry = json.loads(path.read_text())
+    entry["total_retired"] = trace.total_retired + 7
+    path.write_text(json.dumps(entry))
+
+    assert load_trace(store, fp) is None
+    assert store.quarantined == 1
+    assert not path.exists()
+    assert path.with_suffix(path.suffix + ".corrupt").exists()
+    # Quarantine freed the slot.
+    store_trace(store, fp, trace)
+    assert load_trace(store, fp) is not None
+
+
+def test_store_trace_without_cache_is_noop(captured):
+    _, _, trace = captured
+    assert store_trace(None, "c" * 16, trace) is None
+    assert load_trace(None, "c" * 16) is None

@@ -1,0 +1,194 @@
+"""Replay equivalence: the batched columnar replay must be observably
+identical to re-interpreting the program — metrics, crash states, golden
+oracle, and the RunSpec `trace` mode."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch.crash import CrashPlan, run_until_crash
+from repro.arch.system import run_workload
+from repro.fault.oracle import golden_run
+from repro.trace.replay import (
+    TraceCursor,
+    golden_from_trace,
+    replay_metrics,
+    replay_until_crash,
+)
+
+
+def _canon_entries(entries):
+    return [
+        (e.region_seq, e.addr, e.undo, e.redo, e.redo_valid, e.is_boundary)
+        for e in entries
+    ]
+
+
+def _canon_state(state):
+    return {
+        "nvm": dict(state.nvm_image),
+        "entries": [_canon_entries(es) for es in state.core_entries],
+        "cores": state.num_cores,
+        "pc": dict(state.pc_checkpoints),
+        "wpq": list(state.wpq),
+        "shadow": dict(state.ckpt_shadow),
+    }
+
+
+def test_crash_free_replay_metrics_bit_identical(captured):
+    module, spawns, trace = captured
+    interpreted, _ = run_workload(module, spawns, threshold=32, quantum=32)
+    replayed = replay_metrics(trace, threshold=32)
+    for f in dataclasses.fields(interpreted):
+        assert getattr(interpreted, f.name) == getattr(replayed, f.name), (
+            f.name
+        )
+
+
+def test_checked_replay_is_clean(captured):
+    _, _, trace = captured
+    # A clean workload must replay clean under the online checker; a
+    # violation here would raise PersistencyViolationError.
+    replay_metrics(trace, threshold=32, check=True)
+
+
+def test_golden_from_trace_matches_golden_run(captured):
+    module, spawns, trace = captured
+    golden = golden_run(module, spawns, quantum=32)
+    from_trace = golden_from_trace(trace)
+    assert from_trace.data == golden.data
+    assert from_trace.io_log == golden.io_log
+    assert from_trace.total_events == golden.total_events
+
+
+def test_replay_until_crash_matches_interpreted(captured):
+    module, spawns, trace = captured
+    n = len(trace)
+    for k in (0, 1, n // 3, n - 1):
+        interpreted = run_until_crash(
+            module, spawns, CrashPlan(k), threshold=32, quantum=32
+        )
+        replayed = replay_until_crash(trace, CrashPlan(k), threshold=32)
+        assert interpreted is not None and replayed is not None
+        assert _canon_state(interpreted) == _canon_state(replayed), k
+
+
+def test_replay_until_crash_past_end_returns_none(captured):
+    _, _, trace = captured
+    assert replay_until_crash(trace, CrashPlan(len(trace)), threshold=32) is None
+
+
+def test_cursor_single_pass_matches_fresh_replays(captured):
+    """Ascending capture_at calls on one cursor must equal a fresh
+    replay per point — the single-pass optimisation is invisible."""
+    _, _, trace = captured
+    n = len(trace)
+    points = sorted({1, n // 4, n // 2, (3 * n) // 4, n - 1})
+    cursor = TraceCursor(trace, threshold=32)
+    for k in points:
+        state, machine, checker = cursor.capture_at(k)
+        fresh = replay_until_crash(trace, CrashPlan(k), threshold=32)
+        assert _canon_state(state) == _canon_state(fresh), k
+        assert checker is None
+    assert cursor.rebuilds == 0
+
+
+def test_cursor_rewind_rebuilds_and_stays_correct(captured):
+    _, _, trace = captured
+    n = len(trace)
+    cursor = TraceCursor(trace, threshold=32)
+    late, _, _ = cursor.capture_at(n - 1)
+    assert cursor.rebuilds == 0
+    early, _, _ = cursor.capture_at(n // 2)  # behind the cursor: rebuild
+    assert cursor.rebuilds == 1
+    fresh = replay_until_crash(trace, CrashPlan(n // 2), threshold=32)
+    assert _canon_state(early) == _canon_state(fresh)
+
+
+def test_cursor_past_end_runs_out_and_reports_none(captured):
+    _, _, trace = captured
+    cursor = TraceCursor(trace, threshold=32)
+    state, machine, checker = cursor.capture_at(len(trace) + 5)
+    assert state is None
+    # The terminal finish() drained the system; the next in-range point
+    # must transparently rebuild and still be correct.
+    k = len(trace) // 2
+    state, _, _ = cursor.capture_at(k)
+    fresh = replay_until_crash(trace, CrashPlan(k), threshold=32)
+    assert _canon_state(state) == _canon_state(fresh)
+    assert cursor.rebuilds >= 1
+
+
+def test_cursor_pre_crash_io_matches_machine():
+    """The campaign reads the machine's pre-crash I/O log (effects that
+    escaped the persistence domain); the cursor reconstructs it from the
+    trace's I/O positions and must agree at every boundary case."""
+    from repro.arch.crash import run_until_crash_with_machine
+    from repro.compiler import CapriCompiler, OptConfig
+    from repro.ir import IRBuilder, verify_module
+    from repro.trace.record import capture_trace
+
+    b = IRBuilder("logger")
+    arr = b.module.alloc("records", 8)
+    with b.function("main") as f:
+        with f.for_range(8) as i:
+            v = f.add(f.mul(i, 7), 3)
+            f.store(v, f.add(arr, f.shl(i, 3)))
+            f.io_write(1, v)
+        f.ret()
+    verify_module(b.module)
+    module = CapriCompiler(OptConfig.licm(8)).compile(b.module).module
+    spawns = [("main", [])]
+    trace = capture_trace(module, spawns, quantum=32)
+    positions = trace.io_positions()
+    assert positions, "logger must perform I/O"
+
+    # At an I/O event the crash fires *before* delegation (the write
+    # must not escape); right after, it must have.
+    mid = positions[len(positions) // 2]
+    for k in (positions[0], positions[0] + 1, mid, mid + 1, len(trace) - 1):
+        cursor = TraceCursor(trace, threshold=32)
+        _, replayed_machine, _ = cursor.capture_at(k)
+        _, machine = run_until_crash_with_machine(
+            module, spawns, CrashPlan(k), threshold=32, quantum=32
+        )
+        assert replayed_machine.io_log == machine.io_log, k
+
+
+def test_execute_spec_trace_mode_matches_interpreted(tmp_path, monkeypatch):
+    from repro.api import RunSpec, execute_spec
+    from repro.compiler import OptConfig
+    from repro.sweep.cache import CACHE_DIR_ENV
+
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+    spec = RunSpec(
+        workload="genome", scale=0.1, config=OptConfig.licm(32), quantum=32
+    )
+    interpreted = execute_spec(spec)
+    cold = execute_spec(spec.with_(trace=True))
+    warm = execute_spec(spec.with_(trace=True))  # trace now cached
+    assert cold.metrics == interpreted.metrics
+    assert warm.metrics == interpreted.metrics
+    # trace is part of the spec identity (a different execution path).
+    assert cold.fingerprint != interpreted.fingerprint
+
+
+def test_trace_fingerprint_ignores_arch_only_knobs():
+    """One functional trace serves every (params, threshold, check)
+    point of a sweep: the fingerprint must not vary with them."""
+    from repro.api import RunSpec
+    from repro.arch.params import SimParams
+    from repro.compiler import OptConfig
+    from repro.trace.record import trace_fingerprint
+
+    import dataclasses as dc
+
+    base = RunSpec(workload="genome", scale=0.1, config=OptConfig.licm(32))
+    fp = trace_fingerprint(base)
+    assert fp == trace_fingerprint(base.with_(check=True))
+    assert fp == trace_fingerprint(base.with_(seed=7))
+    slow_nvm = dc.replace(SimParams.scaled(), nvm_write_ns=600.0)
+    assert fp == trace_fingerprint(base.with_(params=slow_nvm))
+    # ... but functional identity changes do vary it.
+    assert fp != trace_fingerprint(base.with_(scale=0.2))
+    assert fp != trace_fingerprint(base.with_(config=OptConfig.licm(64)))
