@@ -4,10 +4,22 @@ Every runner in the repository — :class:`repro.eval.harness.EvalHarness`,
 the :mod:`repro.sweep` engine, the ablation sweeps, the fault campaign —
 describes a simulation by the same frozen :class:`RunSpec` and receives a
 :class:`RunResult`.  A spec is *content-addressable*: its
-:meth:`RunSpec.fingerprint` hashes every behaviour-affecting field plus a
-hash of the package's own source (:func:`code_version`), so two specs
-with equal fingerprints are guaranteed to simulate identically and a
+:meth:`RunSpec.fingerprint` hashes every behaviour-affecting parameter,
+so two specs with equal fingerprints describe the same simulation and a
 completed run can be memoised on disk (:mod:`repro.sweep.cache`).
+
+Code-change invalidation is *dependency-recorded*, not key-embedded
+(fingerprint schema 2): :func:`execute_spec` runs under a
+:class:`repro.deps.UsageProbe` and reports which subsystems the run
+exercised (:attr:`RunResult.deps`); cache entries store those
+subsystems' content hashes and stay valid until one of *them* changes —
+editing an eval script no longer cold-starts every simulation.  The
+whole-tree :func:`code_version` remains as the fallback validity check
+for entries that predate per-subsystem recording.
+
+This module is also the **stable facade**: everything in ``__all__`` is
+public API with compatibility expectations; reach into submodules only
+for internals (the split is documented in DESIGN.md).
 
 Legacy call sites keep working: :func:`repro.arch.system.run_workload`
 accepts a :class:`RunSpec` in place of a module, ``EvalHarness.run`` keeps
@@ -21,51 +33,28 @@ import dataclasses
 import enum
 import hashlib
 import json
-import os
 import time
 from dataclasses import dataclass, replace
-from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.arch.params import SimParams
 from repro.arch.system import SystemMetrics, run_workload
 from repro.compiler import CapriCompiler, OptConfig
+from repro.deps import (
+    UsageProbe,
+    changed_subsystems_since,
+    code_version,
+    subsystem_hashes,
+)
 
 #: Bump when the fingerprint schema itself changes shape.
-_FINGERPRINT_SCHEMA = 1
+#: 1: token embedded the whole-tree code hash; dict keys stringified.
+#: 2: pure parameter address (code validity moved to per-entry subsystem
+#:    deps in the cache); dict keys carry their type (the ``{1: x}`` vs
+#:    ``{"1": x}`` aliasing fix).
+_FINGERPRINT_SCHEMA = 2
 
 _DEFAULT_MAX_STEPS = 50_000_000
-
-
-# ---------------------------------------------------------------------------
-# code version
-# ---------------------------------------------------------------------------
-
-_CODE_VERSION: Optional[str] = None
-
-
-def code_version() -> str:
-    """Content hash of every ``.py`` file in the installed package.
-
-    Any source change — a compiler pass, a timing parameter, a workload
-    builder — yields a new version, which invalidates every cached result
-    (fingerprints embed this).  Overridable via ``REPRO_CODE_VERSION``
-    (tests use it to simulate version bumps).
-    """
-    env = os.environ.get("REPRO_CODE_VERSION")
-    if env:
-        return env
-    global _CODE_VERSION
-    if _CODE_VERSION is None:
-        root = Path(__file__).resolve().parent
-        digest = hashlib.sha256()
-        for path in sorted(root.rglob("*.py")):
-            digest.update(str(path.relative_to(root)).encode())
-            digest.update(b"\0")
-            digest.update(path.read_bytes())
-            digest.update(b"\0")
-        _CODE_VERSION = digest.hexdigest()[:16]
-    return _CODE_VERSION
 
 
 # ---------------------------------------------------------------------------
@@ -83,7 +72,14 @@ def _canon(value: Any) -> Any:
     if isinstance(value, (list, tuple)):
         return [_canon(v) for v in value]
     if isinstance(value, dict):
-        return {str(k): _canon(v) for k, v in sorted(value.items())}
+        # Keys encode their type alongside the value: ``{1: x}`` and
+        # ``{"1": x}`` must not canonicalise identically.  Sorting by
+        # (type name, stringified key) is total even for mixed-type keys.
+        items = sorted(
+            ([type(k).__name__, str(k), _canon(v)] for k, v in value.items()),
+            key=lambda item: (item[0], item[1]),
+        )
+        return {"__dict__": items}
     return value
 
 
@@ -177,15 +173,20 @@ class RunSpec:
     # -- identity ------------------------------------------------------------
 
     def fingerprint(self) -> str:
-        """Content address of this run: equal fingerprints ⇒ identical runs.
+        """Content address of this run's *parameters*: equal fingerprints
+        ⇒ the same simulation is being described.
 
         Hashes the *effective* values (so ``params=None`` and
-        ``params=SimParams.scaled()`` collide, as they must) plus
-        :func:`code_version`.
+        ``params=SimParams.scaled()`` collide, as they must).  Since
+        schema 2 the package's code hash is **not** part of the key:
+        whether a cached result is still *valid* for this fingerprint is
+        decided per entry from its recorded subsystem dependencies
+        (:mod:`repro.deps`, checked in :meth:`ResultCache.get
+        <repro.sweep.cache.ResultCache.get>`), falling back to the
+        whole-tree :func:`code_version` for pre-deps entries.
         """
         token = {
             "schema": _FINGERPRINT_SCHEMA,
-            "code": code_version(),
             "workload": self.workload,
             "scale": float(self.scale),
             "config": _canon(self.effective_config),
@@ -230,6 +231,11 @@ class RunResult:
     baseline_cycles: Optional[float] = None
     wall_s: float = 0.0
     from_cache: bool = False
+    #: Subsystems this run exercised (sorted), as recorded by the usage
+    #: probe around :func:`execute_spec` — the dependency set a cache
+    #: entry stores for precise invalidation.  ``()`` for cache-served
+    #: results (their validity was already checked against stored deps).
+    deps: Tuple[str, ...] = ()
     machine: Any = dataclasses.field(default=None, repr=False, compare=False)
 
     @property
@@ -270,64 +276,107 @@ def execute_spec(spec: RunSpec, keep_machine: bool = False) -> RunResult:
     simulation consumes the columns — bit-identical metrics, no IR
     re-interpretation.  ``keep_machine`` forces the interpreted path:
     replay has no machine to return.
+
+    The whole run executes under a :class:`repro.deps.UsageProbe`; the
+    result's :attr:`~RunResult.deps` names the subsystems exercised, and
+    the sweep engine stores them with the cached metrics so only changes
+    to *those* subsystems invalidate the entry.
     """
     from repro.workloads import get_workload
 
     start = time.perf_counter()
-    if spec.trace and not keep_machine:
-        from repro.sweep.cache import resolve_cache
-        from repro.trace.codec import load_trace, store_trace
-        from repro.trace.record import capture_spec_trace, trace_fingerprint
-        from repro.trace.replay import replay_metrics
+    machine = None
+    with UsageProbe() as probe:
+        if spec.trace and not keep_machine:
+            from repro.sweep.cache import resolve_cache
+            from repro.trace.codec import load_trace, store_trace
+            from repro.trace.record import capture_spec_trace, trace_fingerprint
+            from repro.trace.replay import replay_metrics
 
-        store = resolve_cache("default")
-        tfp = trace_fingerprint(spec)
-        trace = load_trace(store, tfp)
-        if trace is None:
-            trace = capture_spec_trace(spec)
-            store_trace(store, tfp, trace)
-        metrics = replay_metrics(
-            trace,
-            params=spec.effective_params,
-            threshold=spec.effective_threshold,
-            persistence=spec.effective_persistence,
-            check=spec.check,
-        )
-        return RunResult(
-            spec=spec,
-            metrics=metrics,
-            fingerprint=spec.fingerprint(),
-            wall_s=time.perf_counter() - start,
-        )
-    workload = get_workload(spec.workload)
-    module, spawns = workload.build(spec.scale, threads=spec.threads)
-    config = spec.effective_config
-    if config.instrumented:
-        module = CapriCompiler(config).compile(module).module
-    metrics, machine = run_workload(
-        module,
-        spawns,
-        params=spec.effective_params,
-        threshold=spec.effective_threshold,
-        persistence=spec.effective_persistence,
-        quantum=spec.quantum,
-        max_steps=spec.max_steps,
-        check=spec.check,
-    )
+            store = resolve_cache("default")
+            tfp = trace_fingerprint(spec)
+            trace = load_trace(store, tfp)
+            if trace is None:
+                trace = capture_spec_trace(spec)
+                store_trace(store, tfp, trace)
+            metrics = replay_metrics(
+                trace,
+                params=spec.effective_params,
+                threshold=spec.effective_threshold,
+                persistence=spec.effective_persistence,
+                check=spec.check,
+            )
+        else:
+            workload = get_workload(spec.workload)
+            module, spawns = workload.build(spec.scale, threads=spec.threads)
+            config = spec.effective_config
+            if config.instrumented:
+                module = CapriCompiler(config).compile(module).module
+            metrics, machine = run_workload(
+                module,
+                spawns,
+                params=spec.effective_params,
+                threshold=spec.effective_threshold,
+                persistence=spec.effective_persistence,
+                quantum=spec.quantum,
+                max_steps=spec.max_steps,
+                check=spec.check,
+            )
     return RunResult(
         spec=spec,
         metrics=metrics,
         fingerprint=spec.fingerprint(),
         wall_s=time.perf_counter() - start,
+        deps=probe.subsystems(),
         machine=machine if keep_machine else None,
     )
 
 
+# ---------------------------------------------------------------------------
+# stable facade
+# ---------------------------------------------------------------------------
+
+#: Re-exports resolved lazily: the cache and trace layers import this
+#: module themselves, so eager imports here would cycle.
+_LAZY_EXPORTS = {
+    "ResultCache": ("repro.sweep.cache", "ResultCache"),
+    "resolve_cache": ("repro.sweep.cache", "resolve_cache"),
+    "default_cache_dir": ("repro.sweep.cache", "default_cache_dir"),
+    "trace_fingerprint": ("repro.trace.record", "trace_fingerprint"),
+    "capture_spec_trace": ("repro.trace.record", "capture_spec_trace"),
+    "load_trace": ("repro.trace.codec", "load_trace"),
+    "store_trace": ("repro.trace.codec", "store_trace"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    target = _LAZY_EXPORTS.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(target[0]), target[1])
+
+
 __all__ = [
+    # core types + execution
     "RunSpec",
     "RunResult",
-    "code_version",
     "execute_spec",
     "metrics_to_dict",
     "metrics_from_dict",
+    # versioning / dependency fingerprints (repro.deps)
+    "code_version",
+    "subsystem_hashes",
+    "changed_subsystems_since",
+    "UsageProbe",
+    # result cache (repro.sweep.cache)
+    "ResultCache",
+    "resolve_cache",
+    "default_cache_dir",
+    # trace capture + cache integration (repro.trace)
+    "trace_fingerprint",
+    "capture_spec_trace",
+    "load_trace",
+    "store_trace",
 ]

@@ -41,13 +41,14 @@ from repro.check.mutants import (
     matrix_params,
     run_mutant_matrix,
 )
+from repro.jsonout import add_json_arg, resolved_json_out, write_envelope
 
 
 def _parse_csv(text: str) -> List[str]:
     return [item.strip() for item in text.split(",") if item.strip()]
 
 
-def _sanitized(args, parser) -> int:
+def _sanitized(args, parser, json_out) -> int:
     from repro.workloads import workload_names
 
     if args.all:
@@ -76,11 +77,12 @@ def _sanitized(args, parser) -> int:
             ok = report.ok and error is None
             wall = time.perf_counter() - start
             status = "clean" if ok else "VIOLATED"
-            print(
-                f"{name:20s} t{threshold:<5d} {status:8s} "
-                f"{report.summary()}  ({wall:.1f}s)"
-                + (f"  [{error}]" if error else "")
-            )
+            if json_out != "-":
+                print(
+                    f"{name:20s} t{threshold:<5d} {status:8s} "
+                    f"{report.summary()}  ({wall:.1f}s)"
+                    + (f"  [{error}]" if error else "")
+                )
             records.append({
                 "workload": name,
                 "threshold": threshold,
@@ -95,12 +97,13 @@ def _sanitized(args, parser) -> int:
             })
             if not ok:
                 failures += 1
-                print(report.format())
+                if json_out != "-":
+                    print(report.format())
     verdict = "PASS" if failures == 0 else f"FAIL ({failures} run(s) violated)"
-    print(f"sanitized runs: {len(names)} workload(s) x "
-          f"{len(thresholds)} threshold(s) — {verdict}")
-    if args.stats_json:
-        import json
+    if json_out != "-":
+        print(f"sanitized runs: {len(names)} workload(s) x "
+              f"{len(thresholds)} threshold(s) — {verdict}")
+    if json_out:
         payload = {
             "mode": "sanitized",
             "verdict": verdict,
@@ -109,13 +112,13 @@ def _sanitized(args, parser) -> int:
             "checks": sum(r["checks"] for r in records),
             "runs": records,
         }
-        with open(args.stats_json, "w") as fh:
-            json.dump(payload, fh, indent=2)
-        print(f"checker stats written to {args.stats_json}")
+        write_envelope(json_out, "check", payload)
+        if json_out != "-":
+            print(f"checker stats written to {json_out}")
     return 0 if failures == 0 else 1
 
 
-def _mutants(args, parser) -> int:
+def _mutants(args, parser, json_out) -> int:
     workloads = _parse_csv(args.workloads)
     mutants = _parse_csv(args.mutant) if args.mutant else None
     try:
@@ -128,7 +131,40 @@ def _mutants(args, parser) -> int:
         )
     except (KeyError, ValueError) as err:
         parser.error(str(err.args[0] if err.args else err))
-    print(result.format())
+    if json_out != "-":
+        print(result.format())
+    if json_out:
+        payload = {
+            "mode": "mutants",
+            "ok": result.ok,
+            "baseline_ok": result.baseline_ok,
+            "all_detected": result.all_detected,
+            "workloads": list(result.workloads),
+            "wall_s": round(result.wall_s, 3),
+            "baselines": {
+                name: {
+                    "ok": report.ok,
+                    "events": report.events,
+                    "checks": report.checks,
+                    "violations": len(report.violations),
+                }
+                for name, report in sorted(result.baseline_reports.items())
+            },
+            "mutants": [
+                {
+                    "mutant": o.mutant,
+                    "detected": o.detected,
+                    "expected": list(o.expected),
+                    "kinds": list(o.kinds),
+                    "workload": o.workload,
+                    "error": o.error,
+                }
+                for o in result.outcomes
+            ],
+        }
+        write_envelope(json_out, "check", payload)
+        if json_out != "-":
+            print(f"checker stats written to {json_out}")
     return 0 if result.ok else 1
 
 
@@ -194,21 +230,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         "functional capture per workload serves all mutants "
         "(--mutants mode only)",
     )
-    parser.add_argument(
-        "--stats-json",
-        metavar="PATH",
+    add_json_arg(
+        parser,
+        legacy="--stats-json",
         help="write per-run checker statistics (events, checks, "
-        "violations, wall time) to PATH as JSON (sanitized mode only)",
+        "violations, wall time) to PATH as a schema-versioned envelope "
+        "('-' for stdout)",
     )
     args = parser.parse_args(argv)
+    json_out = resolved_json_out(args, prog="repro check")
 
     if args.mutants:
         if args.threshold is None:
             args.threshold = 32
-        return _mutants(args, parser)
+        return _mutants(args, parser, json_out)
     if args.threshold is None:
         args.threshold = 256
-    return _sanitized(args, parser)
+    return _sanitized(args, parser, json_out)
 
 
 if __name__ == "__main__":

@@ -200,6 +200,7 @@ class EvalHarness:
         progress=None,
         strict: bool = True,
         timeout_s: Optional[float] = None,
+        since: Optional[str] = None,
     ) -> Dict[str, Dict[str, BenchmarkResult]]:
         """Run ``names`` × ``configs`` through the sweep engine.
 
@@ -207,7 +208,10 @@ class EvalHarness:
         is serial in-process; ``workers=N`` fans out over N processes.
         ``cache="default"`` memoises on disk under
         :func:`repro.sweep.cache.default_cache_dir` (``REPRO_CACHE_DIR``
-        overrides); pass ``None`` to disable.  Returns
+        overrides); pass ``None`` to disable.  ``since`` (a git rev)
+        additionally produces the delta report — which subsystems changed
+        since that revision and which figures moved — on
+        ``last_sweep_report.delta``.  Returns
         ``{name: {label: BenchmarkResult}}``; the engine's
         :class:`~repro.sweep.engine.SweepReport` (per-spec status,
         wall-clock, cache counters) lands on :attr:`last_sweep_report`.
@@ -225,6 +229,7 @@ class EvalHarness:
             cache=cache,
             progress=progress,
             timeout_s=timeout_s,
+            since=since,
         )
         self.last_sweep_report = report
         if strict and not report.ok:

@@ -28,7 +28,6 @@ Command line::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from dataclasses import dataclass, field
@@ -221,19 +220,19 @@ def measure_throughput(
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.jsonout import add_json_arg, resolved_json_out, write_envelope
+
     parser = argparse.ArgumentParser(prog="repro.eval.profile")
     parser.add_argument("names", nargs="*", default=None)
     parser.add_argument("--scale", type=float, default=0.5)
-    parser.add_argument(
-        "--json",
-        dest="json_out",
-        metavar="PATH",
-        default=None,
+    add_json_arg(
+        parser,
         help="emit machine-readable characterisation + throughput "
-        "(instr/s, events/s, replay speedup) as JSON to PATH "
-        "('-' for stdout, suppressing the table)",
+        "(instr/s, events/s, replay speedup) as a schema-versioned "
+        "envelope to PATH ('-' for stdout, suppressing the table)",
     )
     args = parser.parse_args(argv)
+    json_out = resolved_json_out(args, prog="repro profile")
     names = args.names or workload_names()
 
     from repro.eval.report import format_table
@@ -245,20 +244,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         profile = profile_workload(name, scale=args.scale)
         cells[name] = profile.row()
         columns = list(cells[name].keys())
-        if args.json_out:
+        if json_out:
             payload[name] = {
                 "suite": profile.suite,
                 "characterisation": profile.row(),
                 "throughput": measure_throughput(name, scale=args.scale),
             }
-    if args.json_out:
-        doc = {"schema": 1, "scale": args.scale, "workloads": payload}
-        if args.json_out == "-":
-            json.dump(doc, sys.stdout, indent=2, sort_keys=True)
-            print()
+    if json_out:
+        write_envelope(
+            json_out,
+            "profile",
+            {"scale": args.scale, "workloads": payload},
+        )
+        if json_out == "-":
             return 0
-        with open(args.json_out, "w") as fh:
-            json.dump(doc, fh, indent=2, sort_keys=True)
     print(
         format_table(
             "Workload characterisation "
@@ -270,8 +269,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             fmt="{:.1f}",
         )
     )
-    if args.json_out:
-        print(f"profile written to {args.json_out}")
+    if json_out:
+        print(f"profile written to {json_out}")
     return 0
 
 

@@ -11,7 +11,7 @@ Examples::
 
     # Nested-failure sweep: crash, then crash again inside recovery:
     python -m repro.fault --workload update-loop --multi-crash --depth 2 \\
-        --sample 20 --stats-json out.json
+        --sample 20 --json out.json
 
 Exit status is non-zero iff the campaign found a failure (a silent
 mis-recovery, a clean-crash divergence, a non-idempotent re-entered
@@ -21,12 +21,12 @@ recovery, or an unexpected error).
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from typing import List, Optional
 
 from repro.fault.campaign import CampaignConfig, run_workload_campaign
 from repro.fault.models import available_models
+from repro.jsonout import add_json_arg, resolved_json_out, write_envelope
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -114,14 +114,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "replay it per crash point instead of re-interpreting — identical "
         "verdicts, much faster exhaustive sweeps",
     )
-    parser.add_argument(
-        "--stats-json",
-        metavar="PATH",
-        default=None,
+    add_json_arg(
+        parser,
+        legacy="--stats-json",
         help="write the campaign's machine-readable summary (counts, "
-        "quarantine detail, first failure) to PATH as JSON",
+        "quarantine detail, first failure) to PATH as a schema-versioned "
+        "envelope ('-' for stdout)",
     )
     args = parser.parse_args(argv)
+    json_out = resolved_json_out(args, prog="repro fault")
 
     depth = args.depth
     if depth is None:
@@ -157,11 +158,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     except KeyError as err:  # unknown workload or fault model
         parser.error(str(err.args[0] if err.args else err))
-    print(result.summary())
-    if args.stats_json:
-        with open(args.stats_json, "w") as fh:
-            json.dump(result.to_stats(), fh, indent=2, sort_keys=True)
-        print(f"stats written to {args.stats_json}")
+    if json_out != "-":
+        print(result.summary())
+    if json_out:
+        write_envelope(json_out, "fault", result.to_stats())
+        if json_out != "-":
+            print(f"stats written to {json_out}")
     return 0 if result.ok else 1
 
 

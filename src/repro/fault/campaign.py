@@ -616,13 +616,18 @@ def _golden_from_cache(payload) -> GoldenResult:
     )
 
 
-def _golden_to_cache(golden: GoldenResult) -> dict:
-    return {
+def _golden_to_cache(golden: GoldenResult, deps: Optional[dict] = None) -> dict:
+    payload = {
         "kind": "golden",
         "data": {str(addr): value for addr, value in golden.data.items()},
         "io_log": [list(event) for event in golden.io_log],
         "total_events": golden.total_events,
     }
+    if deps:
+        # Per-subsystem validity token: the cache refuses this entry once
+        # any recorded subsystem's hash changes (repro.sweep.cache).
+        payload["deps"] = deps
+    return payload
 
 
 def run_workload_campaign(
@@ -645,9 +650,9 @@ def run_workload_campaign(
     :func:`repro.trace.record.trace_fingerprint`) and every crash point
     replays it — the trace subsumes the golden result.
     """
-    from repro.api import RunSpec
+    from repro.api import RunSpec, resolve_cache
     from repro.compiler import CapriCompiler, OptConfig
-    from repro.sweep.cache import resolve_cache
+    from repro.deps import UsageProbe, deps_token
     from repro.workloads import get_workload
 
     if isinstance(workload, RunSpec):
@@ -664,17 +669,22 @@ def run_workload_campaign(
             quantum=config.quantum,
             max_steps=config.max_steps,
         )
-    module, spawns = get_workload(workload_name).build(scale)
-    compiled = (
-        CapriCompiler(OptConfig.licm(config.threshold)).compile(module).module
-    )
+    # Record which subsystems the build+compile actually exercise; the
+    # cached golden result / trace stores this set (plus its own layer)
+    # so a later edit to an unrelated subsystem leaves it warm.
+    with UsageProbe() as probe:
+        module, spawns = get_workload(workload_name).build(scale)
+        compiled = (
+            CapriCompiler(OptConfig.licm(config.threshold)).compile(module).module
+        )
+    base_deps = set(probe.subsystems())
 
     golden: Optional[GoldenResult] = None
     source = None
     store = resolve_cache(cache)
     if config.replay:
-        from repro.trace.codec import load_trace, store_trace
-        from repro.trace.record import capture_trace, trace_fingerprint
+        from repro.api import load_trace, store_trace, trace_fingerprint
+        from repro.trace.record import capture_trace
         from repro.trace.replay import TraceCampaignSource, golden_from_trace
 
         # Key the trace on what is actually captured here: the workload
@@ -701,6 +711,7 @@ def run_workload_campaign(
                     "fingerprint": tfp,
                 },
             )
+            trace.meta["deps"] = sorted(base_deps | {"trace"})
             store_trace(store, tfp, trace)
         golden = golden_from_trace(trace)
         source = TraceCampaignSource(trace, config)
@@ -715,7 +726,13 @@ def run_workload_campaign(
                 compiled, spawns, quantum=config.quantum, max_steps=config.max_steps
             )
             if store is not None:
-                store.put(fingerprint, _golden_to_cache(golden), kind="golden")
+                store.put(
+                    fingerprint,
+                    _golden_to_cache(
+                        golden, deps=deps_token(base_deps | {"fault"})
+                    ),
+                    kind="golden",
+                )
     return run_campaign(
         compiled, spawns, config, name=workload_name, golden=golden, source=source
     )

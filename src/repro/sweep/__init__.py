@@ -9,10 +9,13 @@ This package exploits both facts:
   (volatile baselines first), fans them out across a ``multiprocessing``
   pool, and reports structured per-spec progress,
 * :mod:`repro.sweep.cache` — an on-disk cache keyed by spec fingerprint
-  (workload, scale, config, threshold, params, quantum, code version), so
-  warm re-runs of ``EvalHarness.sweep``, the ablations, and fault-campaign
-  golden runs are near-instant,
-* ``python -m repro sweep`` — the command-line front end.
+  (workload, scale, config, threshold, params, quantum), validated per
+  entry against the recorded subsystem dependencies (:mod:`repro.deps`),
+  so warm re-runs of ``EvalHarness.sweep``, the ablations, and
+  fault-campaign golden runs are near-instant and survive unrelated
+  source edits,
+* ``python -m repro sweep`` — the command-line front end (``--since
+  <rev>`` reports exactly which figures a code change moved, and why).
 """
 
 from repro.sweep.cache import (
@@ -23,6 +26,8 @@ from repro.sweep.cache import (
     resolve_cache,
 )
 from repro.sweep.engine import (
+    DeltaReport,
+    SpecDelta,
     SpecStatus,
     SweepError,
     SweepReport,
@@ -35,6 +40,8 @@ __all__ = [
     "ResultCache",
     "default_cache_dir",
     "resolve_cache",
+    "DeltaReport",
+    "SpecDelta",
     "SpecStatus",
     "SweepError",
     "SweepReport",

@@ -7,13 +7,24 @@ Layout (one JSON file per completed run, sharded by fingerprint prefix)::
       golden/41/41bc…77.json   fault-campaign golden runs
       …                        any other namespace ("kind")
 
-Keys are :meth:`repro.api.RunSpec.fingerprint` digests, which embed
-:func:`repro.api.code_version` — a source change anywhere in the package
-orphans every old entry rather than serving stale results.  Writes are
-atomic (temp file + ``os.replace``); unreadable or torn entries are
-*quarantined* (renamed to ``*.corrupt``) and treated as misses, never
-crashes — this cache sits under crash-consistency campaigns, so it had
-better survive its own torn writes.
+Keys are :meth:`repro.api.RunSpec.fingerprint` digests — pure parameter
+addresses since fingerprint schema 2.  *Validity* under code change is
+decided per entry: a payload carrying a ``deps`` map (``{subsystem:
+content-hash}``, recorded by the usage probe that watched the original
+run) is served only while every named subsystem's current hash
+(:func:`repro.deps.subsystem_hashes`) still matches — so editing an eval
+script leaves simulations warm, while editing ``arch/`` invalidates
+exactly the entries that exercised the architecture.  Entries with only
+the legacy whole-tree ``code_version`` fall back to comparing that;
+entries with neither (hand-rolled test payloads) are trusted as-is.
+Stale entries count as misses (and into :attr:`ResultCache.stale` /
+:attr:`ResultCache.stale_log` for delta reporting) and are overwritten
+in place by the re-run — quarantine stays reserved for corruption.
+
+Writes are atomic (temp file + ``os.replace``); unreadable or torn
+entries are *quarantined* (renamed to ``*.corrupt``) and treated as
+misses, never crashes — this cache sits under crash-consistency
+campaigns, so it had better survive its own torn writes.
 """
 
 from __future__ import annotations
@@ -23,7 +34,9 @@ import os
 import tempfile
 import time
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.deps import code_version, subsystem_hashes
 
 #: Environment override for the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -45,6 +58,12 @@ class ResultCache:
         self.misses = 0
         self.stores = 0
         self.quarantined = 0
+        #: entries refused because a recorded dependency went stale.
+        self.stale = 0
+        #: (kind, fingerprint) -> {"subsystems": [...], "metrics": ...}
+        #: for every stale refusal this session — the delta report reads
+        #: this to explain *why* a spec re-ran and what it used to say.
+        self.stale_log: Dict[Tuple[str, str], Dict[str, Any]] = {}
 
     # -- paths ---------------------------------------------------------------
 
@@ -54,7 +73,8 @@ class ResultCache:
     # -- access --------------------------------------------------------------
 
     def get(self, fingerprint: str, kind: str = "runs") -> Optional[Dict[str, Any]]:
-        """The stored payload, or ``None`` (corrupt entries quarantined)."""
+        """The stored payload, or ``None`` (corrupt entries quarantined,
+        dependency-stale entries counted and refused)."""
         path = self.path_for(fingerprint, kind)
         try:
             with open(path, "r") as fh:
@@ -68,8 +88,40 @@ class ResultCache:
             self._quarantine(path)
             self.misses += 1
             return None
+        stale = self._stale_subsystems(payload)
+        if stale:
+            self.stale += 1
+            self.stale_log[(kind, fingerprint)] = {
+                "subsystems": stale,
+                "metrics": payload.get("metrics"),
+            }
+            self.misses += 1
+            return None
         self.hits += 1
         return payload
+
+    @staticmethod
+    def _stale_subsystems(payload: Dict[str, Any]) -> List[str]:
+        """Which recorded dependencies no longer match the current code.
+
+        An entry with a ``deps`` map is checked subsystem by subsystem;
+        one with only the legacy ``code_version`` is checked against the
+        whole-tree hash (reported as the pseudo-subsystem
+        ``"<code-version>"``); one with neither is trusted — there is
+        nothing to validate against.
+        """
+        deps = payload.get("deps")
+        if isinstance(deps, dict) and deps:
+            current = subsystem_hashes()
+            return sorted(
+                name
+                for name, stored in deps.items()
+                if current.get(name) != stored
+            )
+        stored_version = payload.get("code_version")
+        if stored_version is not None and stored_version != code_version():
+            return ["<code-version>"]
+        return []
 
     def put(self, fingerprint: str, payload: Dict[str, Any], kind: str = "runs") -> Path:
         """Atomically persist ``payload`` under ``fingerprint``."""
@@ -139,6 +191,7 @@ class ResultCache:
             "misses": self.misses,
             "stores": self.stores,
             "quarantined": self.quarantined,
+            "stale": self.stale,
         }
 
 

@@ -13,6 +13,11 @@ Examples::
     python -m repro sweep --benchmarks ssca2,genome --thresholds 64 \\
         --scale 0.05 --cache-dir .ci-cache --min-hit-rate 0.9
 
+    # Delta sweep: what did the working tree change since HEAD~1, which
+    # cached figures does that invalidate, and did the numbers move?
+    python -m repro sweep --benchmarks ssca2,genome --thresholds 64 \\
+        --scale 0.05 --since HEAD~1
+
 Exit status is non-zero if any spec failed, or if ``--min-hit-rate`` was
 given and the observed cache hit rate fell below it.
 """
@@ -20,12 +25,13 @@ given and the observed cache hit rate fell below it.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from typing import Dict, List, Optional, Sequence
 
 from repro.compiler import OptConfig
+from repro.deps import DepsError
 from repro.eval.report import format_table
+from repro.jsonout import add_json_arg, resolved_json_out, write_envelope
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -68,9 +74,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--timeout", type=float, default=None,
         help="per-spec timeout in seconds (parallel mode only)",
     )
+    add_json_arg(parser)
     parser.add_argument(
-        "--json", dest="json_out", default=None,
-        help="also write cells + engine report to this JSON file",
+        "--since",
+        metavar="REV",
+        default=None,
+        help="delta mode: diff subsystem hashes against git REV and "
+        "report which cached figures the change invalidated (and "
+        "whether their values moved)",
     )
     parser.add_argument(
         "--min-hit-rate", type=float, default=None,
@@ -128,9 +139,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             progress=progress,
             strict=False,
             timeout_s=args.timeout,
+            since=args.since,
         )
     except KeyError as err:
         parser.error(str(err.args[0] if err.args else err))
+    except DepsError as err:
+        parser.error(f"--since {args.since}: {err}")
     report = harness.last_sweep_report
 
     columns = list(configs.keys())
@@ -142,38 +156,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for name in names
     }
     rows = [name for name in names if cells.get(name)]
-    print(
-        format_table(
-            f"Sweep: normalized cycles at scale {args.scale}",
-            rows,
-            columns,
-            cells,
-        )
-    )
-    print()
-    print(report.summary())
-
-    if args.json_out:
-        with open(args.json_out, "w") as fh:
-            json.dump(
-                {
-                    "scale": args.scale,
-                    "columns": columns,
-                    "cells": cells,
-                    "report": {
-                        "cache_hits": report.cache_hits,
-                        "cache_misses": report.cache_misses,
-                        "hit_rate": report.hit_rate,
-                        "simulations": report.simulations,
-                        "failures": report.failures,
-                        "wall_s": report.wall_s,
-                        "workers": report.workers,
-                    },
-                },
-                fh,
-                indent=2,
+    json_out = resolved_json_out(args, prog="repro sweep")
+    if json_out != "-":
+        print(
+            format_table(
+                f"Sweep: normalized cycles at scale {args.scale}",
+                rows,
+                columns,
+                cells,
             )
-        print(f"wrote {args.json_out}")
+        )
+        print()
+        print(report.summary())
+        if report.delta is not None:
+            print(report.delta.summary())
+
+    if json_out:
+        data = {
+            "scale": args.scale,
+            "columns": columns,
+            "cells": cells,
+            "report": {
+                "cache_hits": report.cache_hits,
+                "cache_misses": report.cache_misses,
+                "hit_rate": report.hit_rate,
+                "simulations": report.simulations,
+                "failures": report.failures,
+                "wall_s": report.wall_s,
+                "workers": report.workers,
+            },
+        }
+        if report.delta is not None:
+            data["delta"] = report.delta.to_dict()
+        write_envelope(json_out, "sweep", data)
+        if json_out != "-":
+            print(f"wrote {json_out}")
 
     if args.min_hit_rate is not None and report.hit_rate < args.min_hit_rate:
         print(

@@ -32,6 +32,7 @@ from repro.api import (
     metrics_from_dict,
     metrics_to_dict,
 )
+from repro.deps import deps_token
 from repro.sweep.cache import ResultCache, resolve_cache
 
 #: Per-spec status values, in lifecycle order.
@@ -58,6 +59,97 @@ class SpecStatus:
 
 
 @dataclass
+class SpecDelta:
+    """One spec's fate in a delta sweep (``run_specs(..., since=rev)``)."""
+
+    spec: RunSpec
+    fingerprint: str
+    role: str = "run"
+    #: "warm" (served from cache), "resimulated" (cache entry went
+    #: dependency-stale), "new" (never cached), or "failed".
+    outcome: str = "warm"
+    #: which recorded dependencies invalidated the old entry.
+    stale_subsystems: List[str] = field(default_factory=list)
+    old_exec_cycles: Optional[float] = None
+    new_exec_cycles: Optional[float] = None
+
+    @property
+    def value_changed(self) -> bool:
+        """Did the re-run actually move the figure?"""
+        return (
+            self.old_exec_cycles is not None
+            and self.new_exec_cycles is not None
+            and self.old_exec_cycles != self.new_exec_cycles
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "spec": self.spec.describe(),
+            "label": self.spec.label,
+            "fingerprint": self.fingerprint,
+            "role": self.role,
+            "outcome": self.outcome,
+            "stale_subsystems": list(self.stale_subsystems),
+            "old_exec_cycles": self.old_exec_cycles,
+            "new_exec_cycles": self.new_exec_cycles,
+            "value_changed": self.value_changed,
+        }
+
+
+@dataclass
+class DeltaReport:
+    """What changed since a git revision, and what it cost to find out."""
+
+    since: str
+    #: subsystems whose content hash differs from ``since``.
+    changed_subsystems: List[str] = field(default_factory=list)
+    entries: List[SpecDelta] = field(default_factory=list)
+
+    def by_outcome(self, outcome: str) -> List[SpecDelta]:
+        return [e for e in self.entries if e.outcome == outcome]
+
+    @property
+    def changed_figures(self) -> List[SpecDelta]:
+        """Re-runs whose metrics actually differ from the stale entry."""
+        return [e for e in self.entries if e.value_changed]
+
+    def summary(self) -> str:
+        counts = {
+            o: len(self.by_outcome(o))
+            for o in ("warm", "resimulated", "new", "failed")
+        }
+        changed = ", ".join(self.changed_subsystems) or "none"
+        lines = [
+            f"delta since {self.since}: changed subsystems: {changed}",
+            f"  {len(self.entries)} specs — {counts['warm']} warm, "
+            f"{counts['resimulated']} re-simulated, {counts['new']} new, "
+            f"{counts['failed']} failed",
+        ]
+        moved = self.changed_figures
+        if moved:
+            for entry in moved:
+                why = ",".join(entry.stale_subsystems) or "?"
+                lines.append(
+                    f"  CHANGED {entry.spec.describe():<40} "
+                    f"{entry.old_exec_cycles:.0f} -> "
+                    f"{entry.new_exec_cycles:.0f} cycles  ({why})"
+                )
+        elif counts["resimulated"]:
+            lines.append("  figures unchanged (re-runs reproduced old values)")
+        else:
+            lines.append("  figures unchanged")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        return {
+            "since": self.since,
+            "changed_subsystems": list(self.changed_subsystems),
+            "entries": [e.to_dict() for e in self.entries],
+            "changed_figures": [e.to_dict() for e in self.changed_figures],
+        }
+
+
+@dataclass
 class SweepReport:
     """Everything one engine invocation produced."""
 
@@ -70,6 +162,8 @@ class SweepReport:
     failures: int = 0
     wall_s: float = 0.0
     workers: int = 0
+    #: populated by ``run_specs(..., since=rev)``: what changed and why.
+    delta: Optional[DeltaReport] = None
 
     @property
     def ok(self) -> bool:
@@ -133,9 +227,10 @@ def _alarm_handler(signum, frame):  # pragma: no cover - signal path
 def _worker(job: Tuple[str, RunSpec, Optional[float]]):
     """Run one spec; always returns, never raises (pool stays healthy).
 
-    Returns ``(fingerprint, state, metrics_dict | None, wall_s, error)``.
-    Metrics travel as plain dicts so the parent rebuilds them through the
-    exact same code path a cache hit uses — that is what makes parallel,
+    Returns ``(fingerprint, state, metrics_dict | None, deps, wall_s,
+    error)`` where ``deps`` is the probed subsystem tuple.  Metrics
+    travel as plain dicts so the parent rebuilds them through the exact
+    same code path a cache hit uses — that is what makes parallel,
     serial and warm runs bit-identical.
     """
     fingerprint, spec, timeout_s = job
@@ -151,6 +246,7 @@ def _worker(job: Tuple[str, RunSpec, Optional[float]]):
             fingerprint,
             OK,
             metrics_to_dict(result.metrics),
+            list(result.deps),
             time.perf_counter() - start,
             "",
         )
@@ -159,6 +255,7 @@ def _worker(job: Tuple[str, RunSpec, Optional[float]]):
             fingerprint,
             FAILED,
             None,
+            [],
             time.perf_counter() - start,
             traceback.format_exc(),
         )
@@ -184,6 +281,7 @@ def run_specs(
     cache: Union[ResultCache, str, None, bool] = None,
     progress: Optional[ProgressFn] = None,
     timeout_s: Optional[float] = None,
+    since: Optional[str] = None,
 ) -> SweepReport:
     """Execute ``specs`` (plus their derived baselines) and report.
 
@@ -193,10 +291,24 @@ def run_specs(
     memoisation (completed runs are still deduplicated within the call).
     Per-spec ``timeout_s`` is enforced with ``SIGALRM`` inside workers
     (parallel mode only — a serial alarm would kill the caller).
+
+    ``since`` turns this into a **delta sweep**: the report's
+    :attr:`~SweepReport.delta` explains, against git revision ``since``,
+    which subsystems changed, which specs that invalidated (with the old
+    vs new metrics), and which stayed warm.  The execution itself is
+    unchanged — dependency validation in the cache already re-runs
+    exactly the stale specs; ``since`` adds the explanation.
     """
     started = time.perf_counter()
     store = resolve_cache(cache)
     report = SweepReport(workers=workers)
+    changed_subsystems: List[str] = []
+    if since is not None:
+        # Function-level import so tests monkeypatch the fingerprint
+        # module's attribute and this picks the patch up.
+        from repro.deps import fingerprint as _fingerprint
+
+        changed_subsystems = _fingerprint.changed_subsystems_since(since)
 
     fps = [spec.fingerprint() for spec in specs]
 
@@ -280,7 +392,8 @@ def run_specs(
                 for fp, spec, _ in todo:
                     if fp not in seen:
                         outcomes.append(
-                            (fp, FAILED, None, 0.0, f"worker pool broke: {err!r}")
+                            (fp, FAILED, None, [], 0.0,
+                             f"worker pool broke: {err!r}")
                         )
             finally:
                 pool.terminate()
@@ -289,7 +402,7 @@ def run_specs(
             for job in todo:
                 outcomes.append(_worker(job))
 
-        for fp, state, metrics_dict, wall, error in outcomes:
+        for fp, state, metrics_dict, deps, wall, error in outcomes:
             status = wave[fp]
             status.state = state
             status.wall_s = wall
@@ -302,6 +415,9 @@ def run_specs(
                         fp,
                         {
                             "kind": "metrics",
+                            # deps drive validation; code_version stays
+                            # as provenance + pre-deps fallback.
+                            "deps": deps_token(deps),
                             "code_version": code_version(),
                             "workload": status.spec.workload,
                             "label": status.spec.label,
@@ -336,6 +452,42 @@ def run_specs(
                 from_cache=statuses_by_fp[fp].state == CACHED,
             )
         )
+
+    if since is not None:
+        delta = DeltaReport(since=since, changed_subsystems=changed_subsystems)
+        stale_log = store.stale_log if store is not None else {}
+        for fp, status in statuses_by_fp.items():
+            stale_info = stale_log.get(("runs", fp))
+            if status.state == FAILED:
+                outcome = "failed"
+            elif status.state == CACHED:
+                outcome = "warm"
+            elif stale_info is not None:
+                outcome = "resimulated"
+            else:
+                outcome = "new"
+            old_cycles = None
+            if stale_info is not None and isinstance(
+                stale_info.get("metrics"), dict
+            ):
+                old_cycles = stale_info["metrics"].get("exec_cycles")
+            new_metrics = completed.get(fp)
+            delta.entries.append(
+                SpecDelta(
+                    spec=status.spec,
+                    fingerprint=fp,
+                    role=status.role,
+                    outcome=outcome,
+                    stale_subsystems=list(
+                        stale_info["subsystems"] if stale_info else []
+                    ),
+                    old_exec_cycles=old_cycles,
+                    new_exec_cycles=(
+                        new_metrics.get("exec_cycles") if new_metrics else None
+                    ),
+                )
+            )
+        report.delta = delta
 
     report.wall_s = time.perf_counter() - started
     return report

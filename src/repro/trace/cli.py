@@ -28,6 +28,7 @@ from typing import List, Optional
 
 from repro.api import RunSpec
 from repro.compiler import OptConfig
+from repro.jsonout import add_json_arg, resolved_json_out, write_envelope
 
 
 def _spec(args) -> RunSpec:
@@ -39,10 +40,14 @@ def _spec(args) -> RunSpec:
     )
 
 
-def _capture(args, parser) -> int:
-    from repro.sweep.cache import resolve_cache
-    from repro.trace.codec import load_trace, store_trace
-    from repro.trace.record import capture_spec_trace, trace_fingerprint
+def _capture(args, parser, json_out) -> int:
+    from repro.api import (
+        capture_spec_trace,
+        load_trace,
+        resolve_cache,
+        store_trace,
+        trace_fingerprint,
+    )
 
     spec = _spec(args)
     store = resolve_cache(None if args.no_cache else "default")
@@ -59,22 +64,41 @@ def _capture(args, parser) -> int:
     else:
         path = store.path_for(fingerprint, kind="traces")
     wall = time.perf_counter() - start
-    print(
-        f"trace {args.workload} scale={args.scale} t{args.threshold}: "
-        f"{len(trace)} events, {trace.total_retired} retired, "
-        f"{trace.num_cores} core(s)"
-        + (" [cached]" if cached else f" captured in {wall:.2f}s")
-    )
-    print(f"  fingerprint {fingerprint}")
-    if path is not None:
-        print(f"  stored at {path}")
+    if json_out != "-":
+        print(
+            f"trace {args.workload} scale={args.scale} t{args.threshold}: "
+            f"{len(trace)} events, {trace.total_retired} retired, "
+            f"{trace.num_cores} core(s)"
+            + (" [cached]" if cached else f" captured in {wall:.2f}s")
+        )
+        print(f"  fingerprint {fingerprint}")
+        if path is not None:
+            print(f"  stored at {path}")
+    if json_out:
+        write_envelope(
+            json_out,
+            "trace",
+            {
+                "mode": "capture",
+                "workload": args.workload,
+                "scale": args.scale,
+                "threshold": args.threshold,
+                "events": len(trace),
+                "retired": trace.total_retired,
+                "cores": trace.num_cores,
+                "cached": cached,
+                "fingerprint": fingerprint,
+                "deps": trace.meta.get("deps"),
+                "wall_s": wall,
+            },
+        )
     return 0
 
 
-def _replay(args, parser) -> int:
+def _replay(args, parser, json_out) -> int:
+    from repro.api import capture_spec_trace
     from repro.arch.system import run_workload
     from repro.compiler import CapriCompiler
-    from repro.trace.record import capture_spec_trace
     from repro.trace.replay import replay_metrics
     from repro.workloads import get_workload
 
@@ -110,21 +134,43 @@ def _replay(args, parser) -> int:
         if getattr(interpreted, f.name) != getattr(replayed, f.name)
     ]
     events = len(trace)
-    print(
-        f"{args.workload}: {events} events — interpreted {t1 - t0:.2f}s, "
-        f"capture {t2 - t1:.2f}s, replay {t3 - t2:.2f}s"
-        + ("  (checked)" if args.check else "")
-    )
+    if json_out != "-":
+        print(
+            f"{args.workload}: {events} events — interpreted {t1 - t0:.2f}s, "
+            f"capture {t2 - t1:.2f}s, replay {t3 - t2:.2f}s"
+            + ("  (checked)" if args.check else "")
+        )
+    if json_out:
+        write_envelope(
+            json_out,
+            "trace",
+            {
+                "mode": "replay",
+                "workload": args.workload,
+                "events": events,
+                "checked": bool(args.check),
+                "interpreted_s": t1 - t0,
+                "capture_s": t2 - t1,
+                "replay_s": t3 - t2,
+                "identical": not diffs,
+                "diverging_fields": [
+                    {"field": name, "interpreted": a, "replayed": b}
+                    for name, a, b in diffs
+                ],
+            },
+        )
     if diffs:
-        print(f"METRICS DIVERGE in {len(diffs)} field(s):")
-        for name, a, b in diffs:
-            print(f"  {name}: interpreted={a!r} replayed={b!r}")
+        if json_out != "-":
+            print(f"METRICS DIVERGE in {len(diffs)} field(s):")
+            for name, a, b in diffs:
+                print(f"  {name}: interpreted={a!r} replayed={b!r}")
         return 1
-    print("SystemMetrics bit-identical across all fields")
+    if json_out != "-":
+        print("SystemMetrics bit-identical across all fields")
     return 0
 
 
-def _bench(args, parser) -> int:
+def _bench(args, parser, json_out) -> int:
     from repro.fault.campaign import CampaignConfig, run_workload_campaign
 
     def campaign(replay: bool):
@@ -153,22 +199,44 @@ def _bench(args, parser) -> int:
 
     vi, vr = verdicts(interpreted), verdicts(replayed)
     speedup = t_int / t_rep if t_rep > 0 else float("inf")
-    print(
-        f"{args.workload}: {len(vi)} crash points of "
-        f"{interpreted.total_events} events — interpreted {t_int:.2f}s, "
-        f"replayed {t_rep:.2f}s, speedup {speedup:.2f}x"
-    )
+    if json_out != "-":
+        print(
+            f"{args.workload}: {len(vi)} crash points of "
+            f"{interpreted.total_events} events — interpreted {t_int:.2f}s, "
+            f"replayed {t_rep:.2f}s, speedup {speedup:.2f}x"
+        )
+    if json_out:
+        write_envelope(
+            json_out,
+            "trace",
+            {
+                "mode": "bench",
+                "workload": args.workload,
+                "crash_points": len(vi),
+                "total_events": interpreted.total_events,
+                "interpreted_s": t_int,
+                "replayed_s": t_rep,
+                "speedup": speedup if t_rep > 0 else None,
+                "identical": vi == vr,
+                "counts": interpreted.counts(),
+            },
+        )
     if vi != vr:
-        for a, b in zip(vi, vr):
-            if a != b:
-                print(f"VERDICTS DIVERGE: first at {a} vs {b}")
-                break
-        else:
-            print(f"VERDICTS DIVERGE: point counts {len(vi)} vs {len(vr)}")
+        if json_out != "-":
+            for a, b in zip(vi, vr):
+                if a != b:
+                    print(f"VERDICTS DIVERGE: first at {a} vs {b}")
+                    break
+            else:
+                print(
+                    f"VERDICTS DIVERGE: point counts {len(vi)} vs {len(vr)}"
+                )
         return 1
-    print(f"campaign verdicts identical ({interpreted.counts()})")
+    if json_out != "-":
+        print(f"campaign verdicts identical ({interpreted.counts()})")
     if args.min_speedup and speedup < args.min_speedup:
-        print(f"SPEEDUP {speedup:.2f}x below required {args.min_speedup}x")
+        if json_out != "-":
+            print(f"SPEEDUP {speedup:.2f}x below required {args.min_speedup}x")
         return 1
     return 0
 
@@ -211,12 +279,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="capture: do not read or write the result cache",
     )
+    add_json_arg(parser)
     args = parser.parse_args(argv)
+    json_out = resolved_json_out(args, prog="repro trace")
     if args.mode == "capture":
-        return _capture(args, parser)
+        return _capture(args, parser, json_out)
     if args.mode == "replay":
-        return _replay(args, parser)
-    return _bench(args, parser)
+        return _replay(args, parser, json_out)
+    return _bench(args, parser, json_out)
 
 
 if __name__ == "__main__":

@@ -35,7 +35,11 @@ from repro.isa.machine import Continuation
 from repro.trace.record import ExecTrace
 
 #: Bump on any change to the serialised layout.
-TRACE_CODEC_VERSION = 1
+#: 2: payload gained the top-level ``deps`` validity token
+#:    (``{subsystem: content-hash}``) read by the cache's dependency
+#:    validation; version-1 traces predate per-subsystem invalidation
+#:    and are recaptured (clean miss).
+TRACE_CODEC_VERSION = 2
 
 #: ResultCache namespace for serialised traces.
 TRACE_CACHE_KIND = "traces"
@@ -114,7 +118,17 @@ def _side_tables(trace: ExecTrace) -> Dict[str, Any]:
 
 
 def encode_trace(trace: ExecTrace) -> Dict[str, Any]:
-    """Serialise to a JSON-able payload (the cache-entry body)."""
+    """Serialise to a JSON-able payload (the cache-entry body).
+
+    When the trace carries its probed dependency set
+    (``meta["deps"]``, recorded by
+    :func:`repro.trace.record.capture_spec_trace`), the payload gains a
+    top-level ``deps`` validity token — the cache refuses the entry once
+    any of those subsystems' hashes change, so stale traces recapture
+    instead of silently replaying old code's event stream.
+    """
+    from repro.deps import deps_token
+
     columns = {
         key: getattr(trace, key).tobytes() for key, _code in _COLUMNS
     }
@@ -131,6 +145,9 @@ def encode_trace(trace: ExecTrace) -> Dict[str, Any]:
         "checksum": _checksum(columns, side),
         "meta": dict(trace.meta),
     }
+    dep_names = trace.meta.get("deps")
+    if dep_names:
+        payload["deps"] = deps_token(dep_names)
     payload.update(side)
     return payload
 
@@ -209,19 +226,30 @@ def load_trace(store, fingerprint: str) -> Optional[ExecTrace]:
     Version skew is a clean miss (the caller recaptures and overwrites);
     corruption quarantines the entry exactly as :meth:`ResultCache.get`
     quarantines unreadable JSON.
+
+    A warm hit re-broadcasts the trace's recorded dependency set to any
+    active :class:`repro.deps.UsageProbe` — the run it feeds never calls
+    the workload builder or compiler itself, yet still depends on them,
+    and the cache entry produced from it must say so.
     """
+    from repro.deps import touch
+
     if store is None:
         return None
     payload = store.get(fingerprint, kind=TRACE_CACHE_KIND)
     if payload is None:
         return None
     try:
-        return decode_trace(payload)
+        trace = decode_trace(payload)
     except TraceVersionError:
         return None
     except TraceDecodeError:
         store.quarantine(fingerprint, kind=TRACE_CACHE_KIND)
         return None
+    deps = trace.meta.get("deps")
+    if deps:
+        touch(*deps)
+    return trace
 
 
 def store_trace(store, fingerprint: str, trace: ExecTrace) -> Optional[Path]:

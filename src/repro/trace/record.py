@@ -314,6 +314,9 @@ def capture_trace(
     returned trace carries the golden data image, I/O log, and event
     count.
     """
+    from repro.deps import touch
+
+    touch("trace")  # usage-probe dependency recording
     machine = Machine(module, quantum=quantum)
     for func_name, args in spawns:
         machine.spawn(func_name, args)
@@ -338,7 +341,9 @@ def capture_trace(
 # ---------------------------------------------------------------------------
 
 #: Bump when the fingerprint token changes shape.
-_TRACE_FINGERPRINT_SCHEMA = 1
+#: 2: dropped the embedded code hash — validity is decided per cache
+#: entry from recorded subsystem deps, mirroring RunSpec fingerprints.
+_TRACE_FINGERPRINT_SCHEMA = 2
 
 
 def trace_fingerprint(spec) -> str:
@@ -348,15 +353,16 @@ def trace_fingerprint(spec) -> str:
     that shape the instruction stream participate — workload, scale,
     threads, the effective compile config (which folds in the threshold:
     region formation is compile-time), quantum (hart interleaving), and
-    ``max_steps`` — plus :func:`repro.api.code_version`.  ``SimParams``,
-    simulation-side persistence, ``check``, and ``seed`` are absent by
-    construction: sweeping those replays one captured trace.
+    ``max_steps``.  ``SimParams``, simulation-side persistence,
+    ``check``, and ``seed`` are absent by construction: sweeping those
+    replays one captured trace.  Code validity is not part of the key —
+    stored traces carry their subsystem dependency hashes and the cache
+    validates those (:mod:`repro.deps`).
     """
-    from repro.api import _canon, code_version
+    from repro.api import _canon
 
     token = {
         "schema": _TRACE_FINGERPRINT_SCHEMA,
-        "code": code_version(),
         "workload": spec.workload,
         "scale": float(spec.scale),
         "threads": spec.threads,
@@ -371,25 +377,36 @@ def trace_fingerprint(spec) -> str:
 def capture_spec_trace(spec) -> ExecTrace:
     """Build + (maybe) compile a :class:`repro.api.RunSpec`'s workload and
     capture its trace, mirroring :func:`repro.api.execute_spec`'s build
-    path exactly (uninstrumented configs skip the compiler)."""
+    path exactly (uninstrumented configs skip the compiler).
+
+    The whole capture runs under a :class:`repro.deps.UsageProbe`, and
+    the probed subsystem set lands in ``trace.meta["deps"]`` — the codec
+    stores it with the serialised trace so the cache can invalidate the
+    entry precisely, and replays of the warm trace re-touch the same
+    subsystems on behalf of their own probes.
+    """
     from repro.compiler import CapriCompiler
+    from repro.deps import UsageProbe
     from repro.workloads import get_workload
 
-    workload = get_workload(spec.workload)
-    module, spawns = workload.build(spec.scale, threads=spec.threads)
-    config = spec.effective_config
-    if config.instrumented:
-        module = CapriCompiler(config).compile(module).module
-    return capture_trace(
-        module,
-        spawns,
-        quantum=spec.quantum,
-        max_steps=spec.max_steps,
-        meta={
-            "workload": spec.workload,
-            "scale": float(spec.scale),
-            "threads": spec.threads,
-            "quantum": spec.quantum,
-            "fingerprint": trace_fingerprint(spec),
-        },
-    )
+    with UsageProbe() as probe:
+        workload = get_workload(spec.workload)
+        module, spawns = workload.build(spec.scale, threads=spec.threads)
+        config = spec.effective_config
+        if config.instrumented:
+            module = CapriCompiler(config).compile(module).module
+        trace = capture_trace(
+            module,
+            spawns,
+            quantum=spec.quantum,
+            max_steps=spec.max_steps,
+            meta={
+                "workload": spec.workload,
+                "scale": float(spec.scale),
+                "threads": spec.threads,
+                "quantum": spec.quantum,
+                "fingerprint": trace_fingerprint(spec),
+            },
+        )
+    trace.meta["deps"] = list(probe.subsystems())
+    return trace

@@ -68,6 +68,9 @@ def build_replay_system(
     module's initial data).  Loads read their architectural values from
     the trace via :meth:`ExecTrace.deliver`'s ``system`` staging.
     """
+    from repro.deps import touch
+
+    touch("arch", "trace")  # usage-probe dependency recording
     params = params or SimParams.scaled()
     system = CapriSystem(
         params,

@@ -8,6 +8,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Sequence, Tuple
 
+from repro.deps import touch
 from repro.ir.module import Module
 from repro.workloads import kvstore, oskernel, probes, spec, splash, stamp
 
@@ -33,6 +34,7 @@ class Workload:
         ``threads`` overrides the hart count for multithreaded workloads
         (core-count scaling); single-threaded builders ignore it.
         """
+        touch("workloads")  # usage-probe dependency recording
         s = self.default_scale if scale is None else scale
         if self.multithreaded and threads is not None:
             result = self.builder(s, threads=threads)

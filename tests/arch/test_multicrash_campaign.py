@@ -212,7 +212,10 @@ class TestCli:
         out = capsys.readouterr().out
         assert rc == 0
         assert "PASS" in out and "depth=2" in out
-        stats = json.loads(out_path.read_text())
+        # --stats-json is a deprecated alias for --json: same envelope.
+        payload = json.loads(out_path.read_text())
+        assert payload["command"] == "fault"
+        stats = payload["data"]
         assert stats["ok"] is True and stats["depth"] == 2
 
     def test_depth_requires_positive(self):

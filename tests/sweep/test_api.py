@@ -83,16 +83,45 @@ class TestFingerprint:
     def test_any_field_change_misses(self, change):
         assert spec(**change).fingerprint() != spec().fingerprint()
 
-    def test_code_version_bump_invalidates(self, monkeypatch):
+    def test_fingerprint_is_a_pure_parameter_address(self, monkeypatch):
+        # Schema v2: the fingerprint is code-independent — a code bump
+        # must NOT move the key (invalidation happens per-entry via the
+        # stored deps token, see test_invalidation in tests/deps).
         monkeypatch.setenv("REPRO_CODE_VERSION", "v1")
         fp1 = spec().fingerprint()
         monkeypatch.setenv("REPRO_CODE_VERSION", "v2")
-        assert spec().fingerprint() != fp1
+        assert spec().fingerprint() == fp1
+
+    def test_code_version_bump_invalidates_cache_entries(
+        self, monkeypatch, tmp_path
+    ):
+        # The old schema-v1 guarantee, now delivered by validation: an
+        # entry written under v1 is refused once the code version moves.
+        from repro.api import ResultCache, code_version
+
+        monkeypatch.setenv("REPRO_CODE_VERSION", "v1")
+        store = ResultCache(tmp_path / "cache")
+        fp = spec().fingerprint()
+        store.put(fp, {"metrics": {"exec_cycles": 1.0},
+                       "code_version": code_version()})
+        assert store.get(fp) is not None
+        monkeypatch.setenv("REPRO_CODE_VERSION", "v2")
+        assert store.get(fp) is None
+        assert store.stale == 1
 
     def test_code_version_hashes_sources(self, monkeypatch):
         monkeypatch.delenv("REPRO_CODE_VERSION", raising=False)
         v = code_version()
         assert len(v) == 16 and v == code_version()
+
+    def test_canon_distinguishes_key_types(self):
+        # Regression: stringified dict keys made {1: x} and {"1": x}
+        # collide before schema v2 encoded the key type alongside.
+        from repro.api import _canon
+
+        assert _canon({1: "a"}) != _canon({"1": "a"})
+        # ...while staying deterministic across mixed-type keys.
+        assert _canon({1: "a", "2": "b"}) == _canon({"2": "b", 1: "a"})
 
 
 class TestExecute:

@@ -89,10 +89,14 @@ class TestSweepCLI:
         assert rc == 0
         capsys.readouterr()
         payload = json.loads(out_path.read_text())
-        assert payload["cells"]["ssca2"]["64"] > 1.0
-        assert payload["cells"]["ssca2"]["256"] > 1.0
-        assert payload["report"]["failures"] == 0
-        assert payload["report"]["simulations"] == 3  # 2 runs + 1 baseline
+        # Unified schema-versioned envelope (repro.jsonout).
+        assert payload["schema"] == 1
+        assert payload["command"] == "sweep"
+        data = payload["data"]
+        assert data["cells"]["ssca2"]["64"] > 1.0
+        assert data["cells"]["ssca2"]["256"] > 1.0
+        assert data["report"]["failures"] == 0
+        assert data["report"]["simulations"] == 3  # 2 runs + 1 baseline
 
     def test_unknown_benchmark_fails(self, tmp_path, capsys):
         rc = sweep_main(
