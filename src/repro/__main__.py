@@ -5,6 +5,7 @@ sweep      parallel benchmark sweep with persistent result cache
 fault      crash-consistency fault-injection campaign
 check      online persistency checker: sanitized runs, mutant matrix
 trace      columnar trace capture / replay / campaign bench
+litmus     persistency litmus tests: generate / run / explore / mutants
 profile    workload characterisation tables
 report     one-shot full evaluation report (all figures + analyses)
 figures    individual paper figures (fig8, fig9, …)
@@ -33,6 +34,7 @@ subcommands:
   fault      crash-consistency fault-injection campaign
   check      online persistency checker (sanitized runs / --mutants)
   trace      trace capture|replay|bench (repro.trace)
+  litmus     litmus generate|run|explore|mutants (repro.litmus)
   profile    workload characterisation tables
   report     one-shot full evaluation report
   figures    individual paper figures (fig8, fig9, ...)
@@ -53,6 +55,8 @@ def _dispatch(command: str):
         from repro.check.__main__ import main
     elif command == "trace":
         from repro.trace.cli import main
+    elif command == "litmus":
+        from repro.litmus.cli import main
     elif command == "profile":
         from repro.eval.profile import main
     elif command == "report":

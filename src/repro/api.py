@@ -346,6 +346,11 @@ _LAZY_EXPORTS = {
     "capture_spec_trace": ("repro.trace.record", "capture_spec_trace"),
     "load_trace": ("repro.trace.codec", "load_trace"),
     "store_trace": ("repro.trace.codec", "store_trace"),
+    "generate_litmus_program": ("repro.litmus.generate", "generate_program"),
+    "litmus_corpus": ("repro.litmus.generate", "litmus_corpus"),
+    "explore_litmus_program": ("repro.litmus.explore", "explore_program"),
+    "run_litmus_program": ("repro.litmus.matrix", "run_litmus_program"),
+    "run_litmus_mutants": ("repro.litmus.matrix", "run_litmus_mutants"),
 }
 
 
@@ -379,4 +384,10 @@ __all__ = [
     "capture_spec_trace",
     "load_trace",
     "store_trace",
+    # persistency litmus tests (repro.litmus)
+    "generate_litmus_program",
+    "litmus_corpus",
+    "explore_litmus_program",
+    "run_litmus_program",
+    "run_litmus_mutants",
 ]

@@ -377,9 +377,11 @@ class PersistencyChecker(Observer):
         """Reference-recover ``nvm_image`` with the model's expected
         surviving entries and require the committed prefix back.  Value
         checks are meaningful only with stale-read prevention on (the
-        ablation knob deliberately lets NVM run stale) and only for
-        single-writer addresses (cross-core commit order is ambiguous —
-        ROADMAP "Open items")."""
+        ablation knob deliberately lets NVM run stale).  Single-writer
+        addresses get an exact check; multi-writer addresses a
+        membership check against the per-core contribution set (the
+        litmus outcome-oracle rule) — unless a regular-path writeback
+        touched them, in which case only the structural checks apply."""
         if not self.model.prevention:
             return
         recovered = self.model.reference_recovery(nvm_image)
@@ -393,6 +395,20 @@ class PersistencyChecker(Observer):
                     core if core != MULTI_WRITER else -1,
                     f"reference recovery of addr {addr:#x} yields {got}, "
                     f"committed prefix requires {want}",
+                    addr=addr,
+                )
+        for addr in self.model.multi_writer_addrs():
+            if addr in self.model.wb_addrs:
+                continue
+            allowed = self.model.allowed_values(addr)
+            self.model.multi_writer_checks += 1
+            got = recovered.get(addr, 0)
+            if got not in allowed:
+                self._crash_violation(
+                    LOST_REDO,
+                    -1,
+                    f"reference recovery of multi-writer addr {addr:#x} "
+                    f"yields {got}, allowed set is {sorted(allowed)}",
                     addr=addr,
                 )
 
@@ -433,6 +449,27 @@ class PersistencyChecker(Observer):
                         f"committed prefix requires {want}",
                         addr=addr,
                     )
+            if not quarantined:
+                # Multi-writer words: the recovered value must come from
+                # some touching core's contribution (litmus oracle rule).
+                # Quarantine drops whole cores from recovery, which
+                # shrinks the contribution set in ways the model cannot
+                # attribute per-address, so any quarantine skips these.
+                for addr in model.multi_writer_addrs():
+                    if is_ckpt_addr(addr) or addr in model.wb_addrs:
+                        continue
+                    allowed = model.allowed_values(addr)
+                    model.multi_writer_checks += 1
+                    got = recovered.nvm_image.get(addr, 0)
+                    if got not in allowed:
+                        self._crash_violation(
+                            LOST_REDO,
+                            -1,
+                            f"recovered value of multi-writer addr "
+                            f"{addr:#x} is {got}, allowed set is "
+                            f"{sorted(allowed)}",
+                            addr=addr,
+                        )
         from repro.arch.proxy import _continuation_key
 
         for core, cm in model.cores.items():
@@ -509,6 +546,22 @@ class PersistencyChecker(Observer):
                         core if core != MULTI_WRITER else -1,
                         f"final NVM value of addr {addr:#x} is {got}, "
                         f"committed prefix requires {want}",
+                        addr=addr,
+                    )
+            for addr in model.multi_writer_addrs():
+                if addr in model.wb_addrs:
+                    continue
+                # Nothing is open or pending after the terminal drain,
+                # so only committed-last values contribute.
+                allowed = model.allowed_values(addr, include_rollback=False)
+                model.multi_writer_checks += 1
+                got = image.get(addr, 0)
+                if got not in allowed:
+                    self._crash_violation(
+                        LOST_REDO,
+                        -1,
+                        f"final NVM value of multi-writer addr {addr:#x} "
+                        f"is {got}, allowed set is {sorted(allowed)}",
                         addr=addr,
                     )
             for slot, want in model.committed_ckpt.items():

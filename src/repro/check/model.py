@@ -27,10 +27,16 @@ forwards them) are validated against this automaton in O(1) amortised
 per event: every hook does dictionary/deque head work only; the
 whole-state sweeps happen once per crash snapshot or at finalize.
 
-Multicore caveat: for addresses written by more than one core the
-commit order across cores is ambiguous (two cores' committed redo for
-the same word race in recovery order); value-level checks skip such
-addresses — see ROADMAP.md "Open items".
+Multicore: for addresses written by more than one core the commit
+order across cores is ambiguous (two cores' committed redo for the
+same word race in recovery order), so exact-value checks are
+impossible.  First cut (PR 10, backed by the ``repro.litmus`` outcome
+oracle): such addresses get a *membership* check instead — the
+recovered value must come from :meth:`PersistencyModel.allowed_values`
+(each touching core's committed-last redo, or its rollback target when
+a region is open).  Addresses that took a regular-path writeback fall
+back to the structural checks only (the writeback's interleaving with
+per-core recovery passes is not modelled).
 """
 
 from __future__ import annotations
@@ -119,6 +125,7 @@ class CoreModel:
         "merge_map",
         "drained_boundaries",
         "last_drained",
+        "committed_last",
     )
 
     def __init__(self, core: int) -> None:
@@ -138,6 +145,8 @@ class CoreModel:
         #: boundaries drained so far == the only seq allowed to drain.
         self.drained_boundaries = 0
         self.last_drained: Optional[RegionRecord] = None
+        #: addr -> this core's latest *committed* redo value.
+        self.committed_last: Dict[int, int] = {}
 
 
 class PersistencyModel:
@@ -154,7 +163,12 @@ class PersistencyModel:
         self.committed_ckpt: Dict[int, int] = {}
         #: addr -> writing core, or MULTI_WRITER.
         self.writers: Dict[int, int] = {}
+        #: addrs that took a regular-path writeback (membership checks
+        #: skip them — the writeback races the recovery passes).
+        self.wb_addrs: set = set()
         self.checks = 0
+        #: multi-writer membership checks performed (observability).
+        self.multi_writer_checks = 0
 
     def core(self, core: int) -> CoreModel:
         cm = self.cores.get(core)
@@ -202,6 +216,7 @@ class PersistencyModel:
         cm.committed[seq] = record
         for a, (_, redo) in record.stores.items():
             self.committed_value[a] = redo
+            cm.committed_last[a] = redo
         for slot, value in record.ckpts.items():
             self.committed_ckpt[slot] = value
         cm.emitted.append(
@@ -519,6 +534,7 @@ class PersistencyModel:
         """A dirty line word reached NVM via the regular path: with
         stale-read prevention on, every live redo word for ``addr`` is
         now superseded and must not drain (Section 5.3.2)."""
+        self.wb_addrs.add(addr)
         if not self.prevention:
             return
         for cm in self.cores.values():
@@ -566,3 +582,37 @@ class PersistencyModel:
             for addr, w in self.writers.items()
             if w != MULTI_WRITER
         ]
+
+    def multi_writer_addrs(self) -> List[int]:
+        return [
+            addr
+            for addr, w in self.writers.items()
+            if w == MULTI_WRITER
+        ]
+
+    def allowed_values(self, addr: int, include_rollback: bool = True) -> set:
+        """The set of values region-level strict persistency permits
+        recovery to leave at a multi-writer ``addr`` (the same
+        contribution rule as the :mod:`repro.litmus` outcome oracle).
+
+        Each core that touched the word contributes exactly one value:
+        its rollback target if it has an open (uncommitted) store and
+        ``include_rollback`` is true — recovery undoes the open tail to
+        that word's pre-region value — otherwise its latest committed
+        redo.  Recovery applies the touching cores in *some* order, so
+        the final word is the last-processed core's contribution; which
+        core wins is the ambiguity, the candidate set is not.  A word
+        no committed/open store covers stays at its baseline.  With
+        ``include_rollback=False`` (finalize: nothing is open or
+        pending) only committed-last values contribute.
+        """
+        out: set = set()
+        for cm in self.cores.values():
+            rec = cm.open_stores.get(addr)
+            if include_rollback and rec is not None:
+                out.add(rec[0])
+            elif addr in cm.committed_last:
+                out.add(cm.committed_last[addr])
+        if not out:
+            out.add(self.baseline.get(addr, 0))
+        return out

@@ -54,6 +54,7 @@ SUBSYSTEMS: Tuple[str, ...] = (
     "core",
     "eval",
     "fault",
+    "litmus",
     "service",
     "trace",
     "workloads",
@@ -68,6 +69,7 @@ _DIR_MAP: Dict[str, str] = {
     "workloads": "workloads",
     "trace": "trace",
     "fault": "fault",
+    "litmus": "litmus",
     "eval": "eval",
     "sweep": "eval",  # engine/cache/CLI glue: orchestration, not semantics
     "service": "service",

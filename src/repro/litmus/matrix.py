@@ -1,0 +1,590 @@
+"""The litmus execution matrix: crash everywhere, judge every outcome.
+
+For one program the matrix (1) captures the golden event stream once
+(:func:`repro.trace.record.capture_trace`), (2) derives one
+:class:`~repro.litmus.oracle.OutcomeSnapshot` per crash index, then
+(3) sweeps a crash at **every** observer event through the
+replay-accelerated campaign engine
+(:class:`repro.trace.replay.TraceCampaignSource`) and judges each
+recovered state on three components:
+
+* **nvm** — every data word of the recovered NVM image is in the
+  oracle's per-address allowed set for that crash index,
+* **resume** — every core resumes at its last architecturally-committed
+  region (cold restart only when nothing committed yet),
+* **final** — after :func:`~repro.arch.recovery.resume_and_finish`,
+  single-writer words equal the golden final image exactly and
+  multi-writer words hold some hart's final store value (resumed
+  interleavings may legitimately re-race; exact golden equality would
+  false-positive) or, when no post-resume store hits the word, a
+  crash-allowed value.
+
+Recovery runs **lenient** (``strict=False``) so planted protocol bugs
+produce judgeable forbidden outcomes instead of typed errors — and the
+judge grants *no* quarantine exemption: litmus runs are fault-free, so
+any corruption recovery quarantines is itself a protocol bug.
+
+The sweep ascends, so the first forbidden crash index is event-minimal;
+the emitted :class:`LitmusWitness` is re-confirmed by a direct
+(non-replay) run of the same crash point.  Verdicts are cached in the
+:class:`~repro.sweep.cache.ResultCache` ``litmus`` namespace under a
+content fingerprint with :mod:`repro.deps` staleness tokens.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.litmus.generate import LitmusProgram
+from repro.litmus.oracle import (
+    OutcomeSnapshot,
+    multi_writer_addrs,
+    oracle_snapshots,
+    per_core_last_writes,
+)
+
+#: Mutants the litmus matrix is *expected to miss*: both corrupt the
+#: cache-invalidation path, which only acts on regular-path writebacks —
+#: litmus programs run with full-size caches precisely so no writeback
+#: ever occurs (tiny caches would evict mid-region and make the
+#: architectural-commit oracle unsound).  The macro-workload matrix
+#: (`repro check mutants`) owns these two.
+EXPECTED_MISSES = ("drop_invalidation", "invalidate_everything")
+
+
+def litmus_params(throttled: bool = True):
+    """Simulator parameters for litmus runs.
+
+    Full-size (default ``scaled``) caches: a handful of words never
+    evicts, so NVM changes only through the persistence protocol and
+    the oracle's architectural-commit semantics are exact.  With
+    ``throttled`` (the default) write parallelism is cut to deepen
+    drain FIFOs — the merge/reorder/drain-past-boundary windows; the
+    un-throttled point lets drains *complete and free their entries*
+    before late crash points, which is where drain-corruption bugs
+    (``redo_writes_undo``, ``skip_ckpt_flush``) become recoverable
+    state instead of being masked by the buffer replay.
+    """
+    from repro.arch.params import SimParams
+
+    params = SimParams.scaled()
+    return params.with_(nvm_write_parallelism=2) if throttled else params
+
+
+def param_points():
+    """The two drain regimes every mutant sweep visits (see
+    :func:`litmus_params`)."""
+    return (litmus_params(throttled=True), litmus_params(throttled=False))
+
+
+@dataclass
+class LitmusWitness:
+    """A minimized forbidden-outcome witness: one crash index, the
+    failing judgment components, and the event the crash preceded."""
+
+    name: str
+    seed: int
+    event_index: int
+    event: str
+    failures: List[Dict[str, object]]
+    mutations: Tuple[str, ...] = ()
+    #: the direct (non-replay) re-run reproduced the forbidden outcome.
+    confirmed: bool = False
+
+    def to_payload(self) -> Dict[str, object]:
+        d = asdict(self)
+        d["mutations"] = list(self.mutations)
+        return d
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "LitmusWitness":
+        data = dict(payload)
+        data["mutations"] = tuple(data.get("mutations", ()))
+        return cls(**data)
+
+
+@dataclass
+class LitmusVerdict:
+    """Outcome of one program through the full crash matrix."""
+
+    name: str
+    seed: int
+    content_hash: str
+    mutations: Tuple[str, ...]
+    crash_points: int
+    forbidden: int
+    checks: int
+    elapsed: float
+    witness: Optional[LitmusWitness] = None
+    replay_rebuilds: int = 0
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.forbidden == 0
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "schema": 1,
+            "name": self.name,
+            "seed": self.seed,
+            "content_hash": self.content_hash,
+            "mutations": list(self.mutations),
+            "crash_points": self.crash_points,
+            "forbidden": self.forbidden,
+            "checks": self.checks,
+            "elapsed": self.elapsed,
+            "witness": self.witness.to_payload() if self.witness else None,
+            "replay_rebuilds": self.replay_rebuilds,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "LitmusVerdict":
+        witness = payload.get("witness")
+        return cls(
+            name=payload["name"],
+            seed=payload["seed"],
+            content_hash=payload["content_hash"],
+            mutations=tuple(payload.get("mutations", ())),
+            crash_points=payload["crash_points"],
+            forbidden=payload["forbidden"],
+            checks=payload["checks"],
+            elapsed=payload.get("elapsed", 0.0),
+            witness=LitmusWitness.from_payload(witness) if witness else None,
+            replay_rebuilds=payload.get("replay_rebuilds", 0),
+            cached=True,
+        )
+
+
+def verdict_fingerprint(
+    program: LitmusProgram,
+    threshold: int,
+    params,
+    mutations,
+    check: bool = True,
+) -> str:
+    """Content address of one (program, config, mutations) verdict."""
+    from dataclasses import asdict as params_asdict
+
+    spec = {
+        "schema": 1,
+        "kind": "litmus",
+        "seed": program.seed,
+        "program": program.content_hash(),
+        "threshold": threshold,
+        "quantum": program.quantum,
+        "params": params_asdict(params),
+        "mutations": sorted(mutations.active) if mutations else [],
+        "check": check,
+    }
+    blob = json.dumps(spec, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# --------------------------------------------------------------------- judge
+
+
+def _judge_crash_state(
+    program: LitmusProgram,
+    snap: OutcomeSnapshot,
+    recovered,
+) -> Tuple[List[Dict[str, object]], int]:
+    """Components (nvm, resume) against one crash-index snapshot."""
+    failures: List[Dict[str, object]] = []
+    checks = 0
+    for addr in program.addrs:
+        got = recovered.nvm_image.get(addr, 0)
+        allowed = snap.allowed.get(addr, frozenset((0,)))
+        checks += 1
+        if got not in allowed:
+            failures.append(
+                {
+                    "component": "nvm",
+                    "addr": addr,
+                    "got": got,
+                    "allowed": sorted(allowed),
+                }
+            )
+    for core in range(program.harts):
+        expected = snap.committed_region.get(core)
+        resume = (
+            recovered.resumes[core] if core < len(recovered.resumes) else None
+        )
+        got_region = resume.region_id if resume is not None else None
+        checks += 1
+        if expected is None:
+            if resume is not None:
+                failures.append(
+                    {
+                        "component": "resume",
+                        "core": core,
+                        "got": got_region,
+                        "allowed": ["cold"],
+                    }
+                )
+        elif got_region != expected:
+            failures.append(
+                {
+                    "component": "resume",
+                    "core": core,
+                    "got": got_region,
+                    "allowed": [expected],
+                }
+            )
+    return failures, checks
+
+
+def _judge_final_state(
+    program: LitmusProgram,
+    snap: OutcomeSnapshot,
+    mw_addrs,
+    finals,
+    golden_data,
+    final_image,
+) -> Tuple[List[Dict[str, object]], int]:
+    """Component (final) after resume-and-finish."""
+    failures: List[Dict[str, object]] = []
+    checks = 0
+    for addr in program.addrs:
+        got = final_image.get(addr, 0)
+        checks += 1
+        if addr in mw_addrs:
+            # Any hart's final store may win the re-raced word; if no
+            # post-resume store hits it, the recovered value stands.
+            allowed = set(finals.get(addr, {}).values())
+            allowed |= snap.allowed.get(addr, frozenset((0,)))
+            if got not in allowed:
+                failures.append(
+                    {
+                        "component": "final",
+                        "addr": addr,
+                        "got": got,
+                        "allowed": sorted(allowed),
+                    }
+                )
+        else:
+            expected = golden_data.get(addr, 0)
+            if got != expected:
+                failures.append(
+                    {
+                        "component": "final",
+                        "addr": addr,
+                        "got": got,
+                        "allowed": [expected],
+                    }
+                )
+    return failures, checks
+
+
+def _judge_point(
+    program: LitmusProgram,
+    k: int,
+    snap: OutcomeSnapshot,
+    state,
+    mw_addrs,
+    finals,
+    golden_data,
+    mutations,
+    max_steps: int,
+) -> Tuple[List[Dict[str, object]], int]:
+    """Recover + judge one captured crash state end to end."""
+    from repro.arch.recovery import RecoveryError, recover, resume_and_finish
+    from repro.fault.oracle import data_image
+    from repro.isa.machine import MachineError
+
+    try:
+        recovered = recover(
+            state, program.module, strict=False, mutations=mutations
+        )
+    except RecoveryError as exc:
+        return (
+            [{"component": "recovery", "error": type(exc).__name__, "detail": str(exc)}],
+            1,
+        )
+    failures, checks = _judge_crash_state(program, snap, recovered)
+    try:
+        machine = resume_and_finish(
+            recovered,
+            program.module,
+            program.spawns,
+            quantum=program.quantum,
+            max_steps=max_steps,
+        )
+    except (RecoveryError, MachineError) as exc:
+        failures.append(
+            {"component": "resume-run", "error": type(exc).__name__, "detail": str(exc)}
+        )
+        return failures, checks + 1
+    final_failures, final_checks = _judge_final_state(
+        program, snap, mw_addrs, finals, golden_data, data_image(machine)
+    )
+    return failures + final_failures, checks + final_checks
+
+
+# --------------------------------------------------------------------- matrix
+
+
+def _direct_capture(program: LitmusProgram, k: int, config, mutations):
+    """Interpreted (non-replay) crash capture with the same planted
+    mutations — the witness-confirmation path.  Returns
+    ``(state, order_kinds)``: the captured persistent domain and any
+    reference-automaton violation kinds flagged on the way there."""
+    from repro.arch.crash import CrashPlan, run_built_until_crash
+    from repro.arch.system import build_system
+    from repro.check.checker import PersistencyChecker
+
+    machine, system = build_system(
+        program.module,
+        program.spawns,
+        params=config.params,
+        threshold=config.threshold,
+        quantum=config.quantum,
+        mutations=mutations,
+    )
+    checker = PersistencyChecker.attach(system) if config.check else None
+    state = run_built_until_crash(
+        machine,
+        system,
+        CrashPlan(k),
+        max_steps=config.max_steps,
+        extra_observer=checker,
+    )
+    if checker is not None and state is not None:
+        checker.check_crash_state(state)
+    kinds = (
+        [v.kind for v in checker.report.violations] if checker is not None else []
+    )
+    return state, kinds
+
+
+def run_litmus_program(
+    program: LitmusProgram,
+    mutations=None,
+    threshold: int = 32,
+    params=None,
+    cache="default",
+    stop_on_forbidden: bool = False,
+    check: bool = True,
+    max_steps: int = 2_000_000,
+) -> LitmusVerdict:
+    """Crash ``program`` at every observer event and judge every outcome.
+
+    With ``check`` (the default) the reference automaton rides along the
+    replay and its violations judge a fourth, *order* component — drain
+    reorderings of committed values are value-invisible to single-crash
+    recovery (every permutation of committed redo lands on the same
+    word), so only the automaton can flag them (``reorder_phase2``).
+    """
+    from repro.deps import UsageProbe, deps_token, touch
+    from repro.sweep.cache import resolve_cache
+
+    touch("litmus")
+    if params is None:
+        params = litmus_params()
+    fingerprint = verdict_fingerprint(
+        program, threshold, params, mutations, check=check
+    )
+    store = resolve_cache(cache)
+    if store is not None:
+        payload = store.get(fingerprint, kind="litmus")
+        if payload is not None and payload.get("content_hash") == program.content_hash():
+            return LitmusVerdict.from_payload(payload)
+
+    started = time.perf_counter()
+    with UsageProbe() as probe:
+        from repro.fault.campaign import CampaignConfig
+        from repro.trace.record import capture_trace
+        from repro.trace.replay import TraceCampaignSource, golden_from_trace
+
+        trace = capture_trace(
+            program.module,
+            program.spawns,
+            quantum=program.quantum,
+            max_steps=max_steps,
+            meta={"litmus_seed": program.seed, "name": program.name},
+        )
+        snapshots = oracle_snapshots(trace)
+        finals = per_core_last_writes(trace)
+        mw_addrs = frozenset(multi_writer_addrs(trace))
+        golden_data = golden_from_trace(trace).data
+        config = CampaignConfig(
+            threshold=threshold,
+            quantum=program.quantum,
+            params=params,
+            check=check,
+            max_steps=max_steps,
+            replay=True,
+        )
+        # Mutations plant in the replayed *system* (pipeline bugs) and in
+        # recovery below (recovery bugs) — each layer reads its own flags.
+        source = TraceCampaignSource(trace, config, mutations=mutations)
+
+        forbidden = 0
+        checks = 0
+        witness: Optional[LitmusWitness] = None
+        for k in range(len(trace)):
+            state, _machine, facade = source.capture_at(k)
+            if state is None:
+                break
+            failures, point_checks = _judge_point(
+                program, k, snapshots[k], state, mw_addrs, finals,
+                golden_data, mutations, max_steps,
+            )
+            checks += point_checks
+            if facade is not None and facade.report.violations:
+                failures.append(
+                    {
+                        "component": "order",
+                        "kinds": sorted(
+                            {v.kind for v in facade.report.violations}
+                        ),
+                    }
+                )
+            if failures:
+                forbidden += 1
+                if witness is None:
+                    witness = LitmusWitness(
+                        name=program.name,
+                        seed=program.seed,
+                        event_index=k,
+                        event=repr(trace.event(k)),
+                        failures=failures,
+                        mutations=tuple(sorted(mutations.active))
+                        if mutations
+                        else (),
+                    )
+                    # Confirm the minimized witness off the replay path:
+                    # a direct (interpreted, same-mutations) run of the
+                    # same crash point must agree.
+                    direct_state, direct_kinds = _direct_capture(
+                        program, k, config, mutations
+                    )
+                    if direct_state is not None:
+                        direct_failures, _ = _judge_point(
+                            program, k, snapshots[k], direct_state, mw_addrs,
+                            finals, golden_data, mutations, max_steps,
+                        )
+                        witness.confirmed = bool(direct_failures or direct_kinds)
+                if stop_on_forbidden:
+                    break
+
+    verdict = LitmusVerdict(
+        name=program.name,
+        seed=program.seed,
+        content_hash=program.content_hash(),
+        mutations=tuple(sorted(mutations.active)) if mutations else (),
+        crash_points=len(trace),
+        forbidden=forbidden,
+        checks=checks,
+        elapsed=time.perf_counter() - started,
+        witness=witness,
+        replay_rebuilds=source.rebuilds,
+    )
+    if store is not None and not stop_on_forbidden:
+        payload = verdict.to_payload()
+        payload["deps"] = deps_token(set(probe.subsystems()) | {"litmus"})
+        store.put(fingerprint, payload, kind="litmus")
+    return verdict
+
+
+@dataclass
+class LitmusMutantsResult:
+    """Teeth report: the matrix against every planted protocol bug."""
+
+    programs: int
+    #: unmutated control: every program must show zero forbidden outcomes.
+    control_forbidden: int
+    #: mutant name -> caught by at least one program's matrix.
+    detected: Dict[str, bool]
+    witnesses: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    expected_misses: Tuple[str, ...] = EXPECTED_MISSES
+
+    @property
+    def detection_rate(self) -> Tuple[int, int]:
+        return sum(self.detected.values()), len(self.detected)
+
+    @property
+    def ok(self) -> bool:
+        caught, total = self.detection_rate
+        missed = {m for m, hit in self.detected.items() if not hit}
+        return (
+            self.control_forbidden == 0
+            and missed <= set(self.expected_misses)
+            and caught >= total - len(self.expected_misses)
+        )
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "programs": self.programs,
+            "control_forbidden": self.control_forbidden,
+            "detected": dict(self.detected),
+            "witnesses": dict(self.witnesses),
+            "expected_misses": list(self.expected_misses),
+            "detection_rate": list(self.detection_rate),
+            "ok": self.ok,
+        }
+
+
+def run_litmus_mutants(
+    programs: Sequence[LitmusProgram],
+    mutants: Optional[Sequence[str]] = None,
+    threshold: int = 32,
+    params=None,
+    cache="default",
+) -> LitmusMutantsResult:
+    """Unmutated control + one matrix sweep per planted protocol bug.
+
+    Every sweep visits both drain regimes of :func:`param_points`
+    (unless ``params`` pins one): the throttled point keeps
+    merge/reorder windows open, the fast point lets corrupted drains
+    reach recoverable state.  A mutant counts as detected when any
+    (program, regime) matrix observes a forbidden outcome; the sweep
+    short-circuits per mutant on the first (event-minimal, confirmed)
+    witness.
+    """
+    from repro.arch.persistence import ProtocolMutations
+    from repro.check.mutants import MUTANT_EXPECTATIONS
+
+    if mutants is None:
+        mutants = list(MUTANT_EXPECTATIONS)
+    points = param_points() if params is None else (params,)
+    control_forbidden = 0
+    for program in programs:
+        for point in points:
+            verdict = run_litmus_program(
+                program, mutations=None, threshold=threshold, params=point,
+                cache=cache,
+            )
+            control_forbidden += verdict.forbidden
+
+    detected: Dict[str, bool] = {}
+    witnesses: Dict[str, Dict[str, object]] = {}
+    for name in mutants:
+        detected[name] = False
+        for program in programs:
+            for point in points:
+                verdict = run_litmus_program(
+                    program,
+                    mutations=ProtocolMutations.single(name),
+                    threshold=threshold,
+                    params=point,
+                    cache=None,  # short-circuited sweeps: don't cache partials
+                    stop_on_forbidden=True,
+                )
+                if verdict.forbidden:
+                    detected[name] = True
+                    if verdict.witness is not None:
+                        witnesses[name] = verdict.witness.to_payload()
+                    break
+            if detected[name]:
+                break
+    return LitmusMutantsResult(
+        programs=len(programs),
+        control_forbidden=control_forbidden,
+        detected=detected,
+        witnesses=witnesses,
+    )

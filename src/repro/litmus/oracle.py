@@ -1,0 +1,209 @@
+"""The allowed-outcome oracle for region-level strict persistency.
+
+Given a prefix of the architectural event stream, which post-crash NVM
+values may recovery legally produce for each address?  Per address the
+answer is the set of **per-core contributions**: recovery processes one
+core at a time — committed redo in region order, then rollback of the
+uncommitted tail via intact undo — so the surviving value is the
+contribution of whichever core recovery happens to process last among
+those touching the address.  Cross-core processing order is the
+ambiguity (ROADMAP "checker under multicore interleavings"); the
+*per-address linearisation* set is exactly:
+
+* a core with an **open (uncommitted) store** to the address
+  contributes the undo word of its first open store — its own redo (if
+  any) is overwritten by its own rollback,
+* a core with only **committed** stores contributes its last committed
+  redo value,
+* an address no core has touched stays at the **baseline** (pre-first
+  -store) value.
+
+The oracle consumes the same observer stream as the reference automaton
+(:mod:`repro.check.model`) and mirrors its commit rule exactly — a
+boundary commits iff the region has open stores, staged checkpoints, or
+is the implicit spawn region (id ``-1``).  It needs no load values and
+no machine, so a captured :class:`repro.trace.record.ExecTrace` can
+drive it standalone (``system=None``) — the matrix builds one snapshot
+per crash index from a single delivery pass.
+
+This is deliberately *per-address*: cross-address correlations (core A
+recovered-before-core-B for one word but after for another) are allowed
+by the set, matching the per-address independence of the drain/recovery
+pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.isa.trace import Observer
+
+
+@dataclass
+class OutcomeSnapshot:
+    """Allowed post-crash outcomes after one event prefix."""
+
+    #: addr -> the set of values recovery may leave in NVM.
+    allowed: Dict[int, FrozenSet[int]]
+    #: core -> region id of its last committed boundary (``None`` until
+    #: the core's implicit spawn boundary has retired — only then is a
+    #: cold restart a legal resume).
+    committed_region: Dict[int, Optional[int]]
+
+    def allows(self, addr: int, value: int, baseline: int = 0) -> bool:
+        return value in self.allowed.get(addr, frozenset((baseline,)))
+
+
+class _CoreState:
+    __slots__ = ("open_first_old", "open_last", "staging", "committed_last", "committed_region")
+
+    def __init__(self) -> None:
+        #: addr -> undo word of the first open-region store (rollback target).
+        self.open_first_old: Dict[int, int] = {}
+        #: addr -> last value stored in the open region (redo-if-committed).
+        self.open_last: Dict[int, int] = {}
+        #: staged register checkpoints since the last emitted boundary.
+        self.staging: Dict[int, int] = {}
+        #: addr -> last committed redo value.
+        self.committed_last: Dict[int, int] = {}
+        self.committed_region: Optional[int] = None
+
+
+class LitmusOracle(Observer):
+    """Observer computing the allowed set incrementally, O(1) per event."""
+
+    def __init__(self) -> None:
+        self.cores: Dict[int, _CoreState] = {}
+        #: addr -> pre-first-store value (the no-contribution outcome).
+        self.baseline: Dict[int, int] = {}
+        #: every data address any store has touched.
+        self.touched: set = set()
+        self.events = 0
+
+    def _core(self, core: int) -> _CoreState:
+        st = self.cores.get(core)
+        if st is None:
+            st = self.cores[core] = _CoreState()
+        return st
+
+    # ------------------------------------------------------------- events
+
+    def on_retire(self, core, kind):
+        self.events += 1
+
+    def on_load(self, core, addr):
+        self.events += 1
+
+    def _store(self, core: int, addr: int, value: int, old: int) -> None:
+        st = self._core(core)
+        if addr not in self.baseline and addr not in self.touched:
+            self.baseline[addr] = old
+        self.touched.add(addr)
+        st.open_first_old.setdefault(addr, old)
+        st.open_last[addr] = value
+
+    def on_store(self, core, addr, value, old):
+        self._store(core, addr, value, old)
+        self.events += 1
+
+    def on_atomic(self, core, addr, value, old):
+        self._store(core, addr, value, old)
+        self.events += 1
+
+    def on_ckpt(self, core, reg, value, addr):
+        self._core(core).staging[addr] = value
+        self.events += 1
+
+    def on_boundary(self, core, region_id, continuation):
+        st = self._core(core)
+        # Mirror of repro.check.model.PersistencyModel.machine_boundary:
+        # empty regions emit no delimiter and commit nothing.
+        if st.open_last or st.staging or region_id == -1:
+            st.committed_last.update(st.open_last)
+            st.committed_region = region_id
+            st.open_first_old = {}
+            st.open_last = {}
+            st.staging = {}
+        self.events += 1
+
+    def on_fence(self, core):
+        self.events += 1
+
+    def on_io(self, core, port, value):
+        self.events += 1
+
+    def on_halt(self, core):
+        self.events += 1
+
+    # ---------------------------------------------------------- snapshots
+
+    def allowed_for(self, addr: int) -> FrozenSet[int]:
+        """The allowed post-crash value set for one address, now."""
+        contributions = set()
+        for st in self.cores.values():
+            if addr in st.open_first_old:
+                contributions.add(st.open_first_old[addr])
+            elif addr in st.committed_last:
+                contributions.add(st.committed_last[addr])
+        if not contributions:
+            contributions.add(self.baseline.get(addr, 0))
+        return frozenset(contributions)
+
+    def snapshot(self) -> OutcomeSnapshot:
+        return OutcomeSnapshot(
+            allowed={addr: self.allowed_for(addr) for addr in self.touched},
+            committed_region={
+                core: st.committed_region for core, st in self.cores.items()
+            },
+        )
+
+
+def oracle_snapshots(trace) -> List[OutcomeSnapshot]:
+    """One :class:`OutcomeSnapshot` per crash index of ``trace``.
+
+    The crash injector fires *before* delegating event ``k``, so a crash
+    at index ``k`` reflects events ``[0, k)`` — ``snapshots[k]`` is the
+    allowed set for that crash point, and ``snapshots[len(trace)]`` is
+    the end-of-run set.
+    """
+    from repro.deps import touch
+
+    touch("litmus")
+    oracle = LitmusOracle()
+    out = [oracle.snapshot()]
+    for i in range(len(trace)):
+        trace.deliver(oracle, start=i, stop=i + 1)
+        out.append(oracle.snapshot())
+    return out
+
+
+def per_core_last_writes(trace) -> Dict[int, Dict[int, int]]:
+    """``addr -> {core -> last value that core ever stores to addr}``.
+
+    Straight-line litmus programs make the golden trace's per-core store
+    order the program order, so these are the values each hart's *final*
+    store to the address writes — the candidate winners of the
+    post-resume race on a multi-writer word.
+    """
+    from repro.trace.record import K_ATOMIC, K_STORE
+
+    last: Dict[int, Dict[int, int]] = {}
+    kinds, cores = trace.kinds, trace.cores
+    col_a, col_b = trace.a, trace.b
+    for i in range(len(kinds)):
+        k = kinds[i]
+        if k == K_STORE or k == K_ATOMIC:
+            last.setdefault(col_a[i], {})[cores[i]] = col_b[i]
+    return last
+
+
+def multi_writer_addrs(trace) -> Tuple[int, ...]:
+    """Addresses stored by more than one core in ``trace``."""
+    return tuple(
+        sorted(
+            addr
+            for addr, per_core in per_core_last_writes(trace).items()
+            if len(per_core) > 1
+        )
+    )

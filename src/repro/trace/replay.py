@@ -250,11 +250,16 @@ class TraceCursor:
         params: Optional[SimParams] = None,
         threshold: int = 256,
         check: bool = False,
+        mutations=None,
     ) -> None:
         self.trace = trace
         self.params = params
         self.threshold = threshold
         self.check = check
+        #: planted protocol bugs for the replayed *system* (the litmus
+        #: matrix's teeth); campaigns keep ``config.mutations`` scoped to
+        #: recovery, so this is a separate, explicit knob.
+        self.mutations = mutations
         self.rebuilds = -1  # the constructor's own _reset is not a rebuild
         self._io_positions = trace.io_positions()
         self._reset()
@@ -263,7 +268,10 @@ class TraceCursor:
 
     def _reset(self) -> None:
         self.system = build_replay_system(
-            self.trace, params=self.params, threshold=self.threshold
+            self.trace,
+            params=self.params,
+            threshold=self.threshold,
+            mutations=self.mutations,
         )
         self.checker = None
         self.target: Observer = self.system
@@ -363,13 +371,14 @@ class TraceCampaignSource:
     This one binds a captured trace and a campaign config to a
     :class:`TraceCursor`."""
 
-    def __init__(self, trace: ExecTrace, config) -> None:
+    def __init__(self, trace: ExecTrace, config, mutations=None) -> None:
         self.trace = trace
         self._cursor = TraceCursor(
             trace,
             params=config.params,
             threshold=config.threshold,
             check=config.check,
+            mutations=mutations,
         )
 
     @property

@@ -142,6 +142,32 @@ class TestCommandIntegration:
         assert payload["data"]["mode"] == "sanitized"
         assert payload["data"]["failures"] == 0
 
+    def test_litmus_run_json(self, tmp_path, capsys, monkeypatch):
+        from repro.litmus.cli import main as litmus_main
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        out = tmp_path / "litmus.json"
+        rc = litmus_main(["run", "--seeds", "1", "--json", str(out)])
+        capsys.readouterr()
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == ENVELOPE_SCHEMA
+        assert payload["command"] == "litmus"
+        assert payload["data"]["mode"] == "run"
+        assert payload["data"]["forbidden"] == 0
+        assert payload["data"]["verdicts"][0]["crash_points"] > 0
+
+    def test_litmus_generate_json_stdout(self, capsys):
+        from repro.litmus.cli import main as litmus_main
+
+        rc = litmus_main(["generate", "--seeds", "0,1", "--json", "-"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        payload = json.loads(out)
+        assert payload["command"] == "litmus"
+        assert payload["data"]["mode"] == "generate"
+        assert len(payload["data"]["programs"]) == 2
+
     def test_trace_capture_json(self, tmp_path, capsys, monkeypatch):
         from repro.trace.cli import main as trace_main
 

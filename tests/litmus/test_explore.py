@@ -1,0 +1,81 @@
+"""Bounded-exhaustive explorer: schedule algebra + spec/pipeline layers."""
+
+import pytest
+
+from repro.litmus.explore import (
+    _complete_schedule,
+    _multiset_permutations,
+    explore_program,
+    round_robin_schedule,
+    universe_size,
+)
+from repro.litmus.generate import generate_program
+
+
+class TestScheduleAlgebra:
+    def test_universe_size_is_multinomial(self):
+        assert universe_size([2, 2]) == 6
+        assert universe_size([1, 1, 1]) == 6
+        assert universe_size([3]) == 1
+        assert universe_size([2, 1]) == 3
+
+    def test_multiset_permutations_exact(self):
+        perms = list(_multiset_permutations([2, 1]))
+        assert sorted(perms) == [(0, 0, 1), (0, 1, 0), (1, 0, 0)]
+        assert len(set(perms)) == len(perms)
+
+    def test_multiset_permutations_count_matches_size(self):
+        counts = [3, 2, 2]
+        assert len(list(_multiset_permutations(counts))) == universe_size(counts)
+
+    def test_round_robin_schedule(self):
+        assert round_robin_schedule([3, 2], 2) == (0, 0, 1, 1, 0)
+
+    def test_complete_schedule_preserves_counts(self):
+        counts = [4, 3]
+        completed = _complete_schedule((1, 1, 0), counts, 2)
+        assert completed[:3] == (1, 1, 0)
+        assert [completed.count(h) for h in range(2)] == counts
+
+
+class TestExplore:
+    def test_step_limited_exploration_is_exhaustive(self):
+        p = generate_program(1)  # 2 harts
+        r = explore_program(p, max_schedules=20, step_limit=2, pipeline_schedules=2)
+        assert r.exhaustive
+        assert r.schedule_universe == universe_size([2, 2]) == 6
+        assert r.schedules_run == 6
+        assert r.pipeline_violations == 0, r.pipeline_kinds
+
+    def test_sampled_when_universe_explodes(self):
+        p = generate_program(1)
+        r = explore_program(p, max_schedules=10, pipeline_schedules=0)
+        assert not r.exhaustive
+        assert r.schedules_run == 10
+        assert r.schedule_universe > 10**20  # C(81, 41)-sized
+
+    def test_sampling_is_deterministic(self):
+        p = generate_program(2)
+        a = explore_program(p, max_schedules=8, pipeline_schedules=0)
+        b = explore_program(p, max_schedules=8, pipeline_schedules=0)
+        assert a.allowed == b.allowed
+
+    def test_allowed_union_covers_canonical_schedule(self):
+        """Every outcome the canonical (round-robin) execution's oracle
+        allows at any prefix must be in the explorer's union."""
+        from repro.litmus.oracle import oracle_snapshots
+        from repro.trace.record import capture_trace
+
+        p = generate_program(1)
+        r = explore_program(p, max_schedules=40, pipeline_schedules=0)
+        trace = capture_trace(p.module, p.spawns, quantum=p.quantum)
+        for snap in oracle_snapshots(trace):
+            for addr, allowed in snap.allowed.items():
+                for value in allowed:
+                    assert r.allows(addr, value), (hex(addr), value)
+
+    def test_pipeline_layer_is_silent_on_faithful_protocol(self):
+        p = generate_program(0)
+        r = explore_program(p, max_schedules=6, step_limit=1, pipeline_schedules=3)
+        assert r.pipeline_schedules == 3
+        assert r.pipeline_violations == 0, r.pipeline_kinds

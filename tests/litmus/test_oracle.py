@@ -1,0 +1,143 @@
+"""Unit tests of the litmus outcome oracle, plus agreement with the
+reference automaton's multi-writer contribution rule."""
+
+from repro.litmus.generate import generate_program
+from repro.litmus.oracle import (
+    LitmusOracle,
+    multi_writer_addrs,
+    oracle_snapshots,
+    per_core_last_writes,
+)
+
+A, B = 0x10000, 0x10040
+
+
+class TestContributionRule:
+    def test_untouched_is_baseline(self):
+        o = LitmusOracle()
+        assert o.allowed_for(A) == frozenset((0,))
+        o.on_store(0, B, 5, 3)  # touching B records B's baseline, not A's
+        assert o.baseline == {B: 3}
+        assert o.allowed_for(A) == frozenset((0,))
+
+    def test_open_store_contributes_rollback(self):
+        o = LitmusOracle()
+        o.on_store(0, A, 5, 0)
+        # uncommitted: recovery rolls the store back to the undo word
+        assert o.allowed_for(A) == frozenset((0,))
+        o.on_store(0, A, 6, 5)
+        # first-open undo wins, not the last one
+        assert o.allowed_for(A) == frozenset((0,))
+
+    def test_commit_moves_contribution_to_redo(self):
+        o = LitmusOracle()
+        o.on_store(0, A, 5, 0)
+        o.on_boundary(0, 1, None)
+        assert o.allowed_for(A) == frozenset((5,))
+        o.on_store(0, A, 9, 5)
+        # committed 5 is now this core's rollback target
+        assert o.allowed_for(A) == frozenset((5,))
+        o.on_boundary(0, 2, None)
+        assert o.allowed_for(A) == frozenset((9,))
+
+    def test_two_cores_contribute_independently(self):
+        o = LitmusOracle()
+        o.on_store(0, A, 5, 0)
+        o.on_boundary(0, 1, None)
+        o.on_store(1, A, 9, 5)
+        o.on_boundary(1, 1, None)
+        assert o.allowed_for(A) == frozenset((5, 9))
+
+    def test_empty_region_commits_nothing(self):
+        o = LitmusOracle()
+        o.on_store(0, A, 5, 0)
+        o.on_boundary(1, 3, None)  # *other* core's empty boundary
+        assert o.cores[1].committed_region is None
+        assert o.allowed_for(A) == frozenset((0,))
+
+    def test_spawn_region_always_commits(self):
+        o = LitmusOracle()
+        o.on_boundary(0, -1, None)
+        assert o.cores[0].committed_region == -1
+
+    def test_staging_forces_commit(self):
+        o = LitmusOracle()
+        o.on_ckpt(0, 2, 77, 0x20000)
+        o.on_boundary(0, 4, None)
+        assert o.cores[0].committed_region == 4
+
+    def test_snapshot_allows(self):
+        o = LitmusOracle()
+        o.on_store(0, A, 5, 0)
+        o.on_boundary(0, 1, None)
+        snap = o.snapshot()
+        assert snap.allows(A, 5)
+        assert not snap.allows(A, 0)
+        assert snap.allows(B, 0)  # untouched addr: baseline only
+
+
+class TestTraceDerivations:
+    def test_snapshots_bracket_the_trace(self):
+        from repro.trace.record import capture_trace
+
+        p = generate_program(0)
+        trace = capture_trace(p.module, p.spawns, quantum=p.quantum)
+        snaps = oracle_snapshots(trace)
+        assert len(snaps) == len(trace) + 1
+        # before anything ran, everything is baseline
+        assert snaps[0].allowed == {}
+        assert snaps[0].committed_region == {}
+        # allowed sets only ever cover touched addrs
+        assert set(snaps[-1].allowed) <= set(p.addrs)
+        # every hart committed its final explicit region by the end
+        final_regions = set(snaps[-1].committed_region.values())
+        assert final_regions == {p.metadata["regions"] - 1}
+
+    def test_multi_writer_addrs_are_shared_only(self):
+        from repro.trace.record import capture_trace
+
+        p = generate_program(0)
+        trace = capture_trace(p.module, p.spawns, quantum=p.quantum)
+        mw = multi_writer_addrs(trace)
+        assert set(mw) <= set(p.shared_addrs)
+        assert mw, "hart 0 pins slot 0 — some word must be contended"
+        finals = per_core_last_writes(trace)
+        for addr in mw:
+            assert len(finals[addr]) > 1
+
+    def test_agrees_with_reference_automaton(self):
+        """The oracle and `PersistencyModel.allowed_values` implement
+        the same contribution rule from two codebases; drive both with
+        one event stream and demand identical sets."""
+        from repro.check.model import PersistencyModel
+        from repro.trace.record import capture_trace
+
+        p = generate_program(4)
+        trace = capture_trace(p.module, p.spawns, quantum=p.quantum)
+        oracle = LitmusOracle()
+        model = PersistencyModel()
+
+        class Bridge:
+            def on_store(self, core, addr, value, old):
+                model.machine_store(core, addr, value, old)
+
+            def on_atomic(self, core, addr, value, old):
+                model.machine_store(core, addr, value, old)
+
+            def on_ckpt(self, core, reg, value, addr):
+                model.machine_ckpt(core, addr, value)
+
+            def on_boundary(self, core, region_id, continuation):
+                model.machine_boundary(core, region_id, continuation)
+
+            def __getattr__(self, name):
+                if name.startswith("on_"):
+                    return lambda *a, **k: None
+                raise AttributeError(name)
+
+        trace.deliver(oracle)
+        trace.deliver(Bridge())
+        for addr in p.addrs:
+            assert set(oracle.allowed_for(addr)) == model.allowed_values(addr), (
+                hex(addr)
+            )
